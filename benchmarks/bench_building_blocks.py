@@ -1,0 +1,135 @@
+"""X-2: Section 3.1 building-block costs.
+
+The paper prices each primitive; this bench measures them:
+
+* degree approximation (Theorem 3.1): cost grows ~log log d, not d — the
+  whole point versus the Ω(k d) exact bound under duplication;
+* random incident edge: O(k log n);
+* the no-duplication degree shortcut (Lemma 3.2) undercuts Theorem 3.1.
+"""
+
+from __future__ import annotations
+
+from repro.comm.coordinator import CoordinatorRuntime
+from repro.comm.players import make_players
+from repro.comm.randomness import SharedRandomness
+from repro.core.building_blocks import random_incident_edge
+from repro.core.degree_approx import (
+    DegreeApproxParams,
+    approx_degree,
+    approx_degree_no_duplication,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.partition import (
+    partition_disjoint,
+    partition_with_duplication,
+)
+
+PARAMS = DegreeApproxParams(alpha=2.0, tau=0.1, experiments_override=16)
+
+
+def star(degree: int) -> Graph:
+    return Graph(degree + 1, [(0, i) for i in range(1, degree + 1)])
+
+
+def test_degree_approx_loglog_cost(benchmark, print_row):
+    degrees = [8, 64, 512, 4096]
+
+    def sweep():
+        costs = []
+        for degree in degrees:
+            graph = star(degree)
+            partition = partition_with_duplication(graph, 4, seed=1)
+            rt = CoordinatorRuntime(
+                make_players(partition), SharedRandomness(2)
+            )
+            approx_degree(rt, 0, PARAMS)
+            costs.append(rt.ledger.total_bits)
+        return costs
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["bits_by_degree"] = dict(zip(degrees, costs))
+    print_row(
+        "X-2a     approx_degree cost vs degree: "
+        + ", ".join(f"d={d}: {c}b" for d, c in zip(degrees, costs))
+    )
+    # Degree grew 512x; cost must grow far slower than linearly — the
+    # exact-under-duplication alternative would be >= k*d bits.
+    assert costs[-1] < 8 * costs[0]
+    assert costs[-1] < 4 * 4096  # beats the Omega(k d) exact bound
+
+
+def test_degree_accuracy_across_degrees(benchmark, print_row):
+    degrees = [16, 256, 2048]
+
+    def sweep():
+        ratios = []
+        for degree in degrees:
+            graph = star(degree)
+            partition = partition_with_duplication(graph, 4, seed=3)
+            rt = CoordinatorRuntime(
+                make_players(partition), SharedRandomness(4)
+            )
+            estimate = approx_degree(rt, 0, PARAMS)
+            ratios.append(estimate.value / degree)
+        return ratios
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["ratios"] = dict(zip(degrees, ratios))
+    print_row(
+        "X-2b     approx_degree accuracy (estimate/true): "
+        + ", ".join(f"d={d}: {r:.2f}" for d, r in zip(degrees, ratios))
+    )
+    for ratio in ratios:
+        assert 1 / (2 * PARAMS.alpha) <= ratio <= 2 * PARAMS.alpha
+
+
+def test_nodup_shortcut_cheaper(benchmark, print_row):
+    degree = 1024
+    graph = star(degree)
+
+    def run():
+        disjoint = partition_disjoint(graph, 4, seed=5)
+        rt_full = CoordinatorRuntime(
+            make_players(disjoint), SharedRandomness(6)
+        )
+        approx_degree(rt_full, 0, PARAMS)
+        rt_short = CoordinatorRuntime(
+            make_players(disjoint), SharedRandomness(6)
+        )
+        approx_degree_no_duplication(rt_short, 0, alpha=2.0)
+        return rt_full.ledger.total_bits, rt_short.ledger.total_bits
+
+    full_bits, short_bits = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["theorem31_bits"] = full_bits
+    benchmark.extra_info["lemma32_bits"] = short_bits
+    print_row(
+        f"X-2c     degree at d={degree}: Theorem 3.1 {full_bits}b vs "
+        f"Lemma 3.2 (no dup) {short_bits}b"
+    )
+    assert short_bits < full_bits
+
+
+def test_random_incident_edge_cost(benchmark, print_row):
+    sizes = [64, 512, 4096]
+
+    def sweep():
+        costs = []
+        for n in sizes:
+            graph = Graph(n, [(0, i) for i in range(1, min(n, 30))])
+            partition = partition_with_duplication(graph, 4, seed=7)
+            rt = CoordinatorRuntime(
+                make_players(partition), SharedRandomness(8)
+            )
+            random_incident_edge(rt, 0)
+            costs.append(rt.ledger.total_bits)
+        return costs
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["bits_by_n"] = dict(zip(sizes, costs))
+    print_row(
+        "X-2d     random_incident_edge cost (O(k log n)): "
+        + ", ".join(f"n={n}: {c}b" for n, c in zip(sizes, costs))
+    )
+    # log n doubles from 64 to 4096: cost grows, but gently.
+    assert costs[-1] <= 3 * costs[0]

@@ -1,0 +1,84 @@
+"""X-1: property testing vs exact detection — the Section 5 headline.
+
+[38] showed exact triangle detection needs Ω(k n d) bits; the paper's point
+is that the property-testing relaxation breaks that barrier even for
+simultaneous protocols.  This bench regenerates the comparison: the exact
+baseline's exponent on nd is ~1, every tester's is far below, and the
+absolute gap widens with n.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.table1 import row_exact_baseline
+from repro.core.exact_baseline import exact_triangle_detection
+from repro.core.oblivious import ObliviousParams, find_triangle_sim_oblivious
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+from repro.graphs.generators import far_instance
+from repro.graphs.partition import partition_disjoint
+
+
+def test_exact_pays_linear(benchmark, print_row):
+    report = benchmark.pedantic(
+        lambda: row_exact_baseline(quick=True, seed=0), rounds=1, iterations=1
+    )
+    benchmark.extra_info["measured_exponent"] = report.measured
+    print_row(report.formatted())
+    assert abs(report.measured - 1.0) < 0.1, report.formatted()
+
+
+def test_gap_widens_with_n(benchmark, print_row):
+    ns = [600, 1200, 2400, 4800]
+    d, k = 6.0, 3
+    params = SimLowParams(epsilon=0.2, delta=0.2)
+
+    def sweep():
+        ratios = []
+        for n in ns:
+            per_seed = []
+            for seed in range(2):
+                instance = far_instance(n, d, 0.2, seed=seed)
+                partition = partition_disjoint(
+                    instance.graph, k, seed=seed + 1
+                )
+                exact_bits = exact_triangle_detection(partition).total_bits
+                test_bits = find_triangle_sim_low(
+                    partition, params, seed=seed
+                ).total_bits
+                per_seed.append(exact_bits / max(1, test_bits))
+            ratios.append(statistics.median(per_seed))
+        return ratios
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["exact_over_testing"] = dict(zip(ns, ratios))
+    print_row(
+        "X-1g     exact/testing cost ratio: "
+        + ", ".join(f"n={n}: {r:.1f}x" for n, r in zip(ns, ratios))
+    )
+    assert ratios[-1] > ratios[0], "the advantage must widen with n"
+
+
+def test_testing_beats_exact_even_oblivious(benchmark, print_row):
+    """Even the degree-oblivious simultaneous tester beats exact at scale."""
+    n, d, k = 4800, 6.0, 4
+
+    def run():
+        instance = far_instance(n, d, 0.2, seed=9)
+        partition = partition_disjoint(instance.graph, k, seed=10)
+        exact_bits = exact_triangle_detection(partition).total_bits
+        oblivious_bits = find_triangle_sim_oblivious(
+            partition, ObliviousParams(epsilon=0.2, delta=0.2), seed=11
+        ).total_bits
+        return exact_bits, oblivious_bits
+
+    exact_bits, oblivious_bits = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    benchmark.extra_info["exact_bits"] = exact_bits
+    benchmark.extra_info["oblivious_bits"] = oblivious_bits
+    print_row(
+        f"X-1o     n={n}: exact {exact_bits}b vs oblivious tester "
+        f"{oblivious_bits}b ({exact_bits / oblivious_bits:.1f}x saved)"
+    )
+    assert oblivious_bits < exact_bits

@@ -1,0 +1,95 @@
+"""T1-R2a: simultaneous upper bound O~(k sqrt(n)) for d = O(sqrt(n)).
+
+Regenerates the sparse-regime column of Table 1's simultaneous row: the
+n-sweep fits the exponent of communication against n (claimed 1/2), the
+k-sweep confirms linearity in k, and the detection rate on certified
+epsilon-far instances stays high throughout.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.table1 import row_sim_low_upper
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+from repro.graphs.generators import far_instance
+from repro.graphs.partition import partition_disjoint
+
+
+def test_exponent_on_n(benchmark, print_row):
+    report = benchmark.pedantic(
+        lambda: row_sim_low_upper(quick=True, seed=0), rounds=1, iterations=1
+    )
+    benchmark.extra_info["claimed_exponent"] = report.claimed
+    benchmark.extra_info["measured_exponent"] = report.measured
+    print_row(report.formatted())
+    assert abs(report.measured - report.claimed) < 0.12, report.formatted()
+
+
+def test_linear_in_k(benchmark, print_row):
+    """The O~(k sqrt(n)) worst case is the duplicated regime: every player
+    may hold (and send) every sampled edge.  Under all-to-all duplication
+    the k-sweep is linear; with disjoint inputs the k-dependence vanishes
+    (Corollary 3.27 — see test_no_duplication_saves_factor_k)."""
+    from repro.graphs.partition import partition_all_to_all
+
+    n, d = 2400, 6.0
+    ks = [2, 4, 8, 16]
+    params = SimLowParams(epsilon=0.2, delta=0.2)
+
+    def sweep():
+        costs = []
+        for k in ks:
+            bits = []
+            for seed in range(3):
+                instance = far_instance(n, d, 0.2, seed=seed)
+                partition = partition_all_to_all(instance.graph, k)
+                bits.append(
+                    find_triangle_sim_low(
+                        partition, params, seed=seed
+                    ).total_bits
+                )
+            costs.append(statistics.median(bits))
+        return costs
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fit = fit_power_law([float(k) for k in ks], costs)
+    benchmark.extra_info["k_exponent"] = fit.exponent
+    print_row(
+        f"T1-R2ak  sim-low k-sweep (worst-case duplication) at n={n}: "
+        f"bits ~ k^{fit.exponent:.2f} (claimed 1.0) R²={fit.r_squared:.3f}"
+    )
+    assert abs(fit.exponent - 1.0) < 0.15, fit
+
+
+def test_no_duplication_saves_factor_k(benchmark, print_row):
+    """Corollary 3.27: without duplication, total sends are O~(sqrt n),
+    independent of k — each distinct edge is sent by one player only."""
+    n, d, k = 2400, 6.0, 8
+    params = SimLowParams(epsilon=0.2, delta=0.2)
+
+    def run():
+        from repro.graphs.partition import (
+            partition_all_to_all,
+            partition_disjoint,
+        )
+
+        instance = far_instance(n, d, 0.2, seed=7)
+        disjoint = find_triangle_sim_low(
+            partition_disjoint(instance.graph, k, seed=8), params, seed=9
+        )
+        duplicated = find_triangle_sim_low(
+            partition_all_to_all(instance.graph, k), params, seed=9
+        )
+        return disjoint, duplicated
+
+    disjoint, duplicated = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = duplicated.total_bits / max(1, disjoint.total_bits)
+    benchmark.extra_info["duplication_ratio"] = ratio
+    benchmark.extra_info["k"] = k
+    print_row(
+        f"T1-R2an  no-duplication saving at k={k}: full duplication costs "
+        f"{ratio:.1f}x the disjoint run (paper: factor ~k = {k})"
+    )
+    assert ratio > k / 3, "duplication should cost roughly a factor k"

@@ -1,0 +1,133 @@
+"""T1-R1: unrestricted-communication upper bound O~(k (nd)^{1/4} + k²).
+
+Regenerates the first row of Table 1: the n-sweep measures the exponent of
+communication against nd on triangle-free worst-case controls (a one-sided
+tester pays its maximum exactly when no triangle exists), and the k-sweep
+exhibits the additive k² term (the Θ~(k)-sample bucket loop, each sample
+costing Θ(k log n)).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from repro.analysis.scaling import fit_power_law, strip_polylog
+from repro.analysis.table1 import (
+    _tuned_unrestricted_params,
+    row_unrestricted_upper,
+)
+from repro.core.unrestricted import find_triangle_unrestricted
+from repro.graphs.generators import triangle_free_degree_spread
+from repro.graphs.partition import partition_disjoint
+
+
+def test_exponent_on_nd(benchmark, print_row):
+    """Fit bits ~ (nd)^a on the worst-case sweep; the paper claims a=1/4."""
+    report = benchmark.pedantic(
+        lambda: row_unrestricted_upper(quick=True, seed=0),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["claimed_exponent"] = report.claimed
+    benchmark.extra_info["measured_exponent"] = report.measured
+    benchmark.extra_info["note"] = report.note
+    print_row(report.formatted())
+    assert abs(report.measured - report.claimed) < 0.15, report.formatted()
+
+
+def test_k_squared_term(benchmark, print_row):
+    """Sweep k at fixed n: the Θ~(k)-sample bucket loop, each sample an
+    O(k log n) interaction, gives the additive k² term.  The candidate cap
+    is lifted to q so the sample loop runs in full (a capped loop hides the
+    k² term behind the k-linear star broadcasts)."""
+    from dataclasses import replace
+
+    n, d, epsilon = 2048, 8.0, 0.2
+    ks = [2, 4, 8, 16]
+
+    sampling_labels = ("SampleUniformFromB~i", "approx_degree")
+
+    def sampling_bits(result) -> int:
+        return sum(
+            bits
+            for label, bits in result.cost.bits_by_label.items()
+            if label.startswith(sampling_labels)
+        )
+
+    def sweep():
+        totals = []
+        sampling = []
+        for k in ks:
+            trial_total = []
+            trial_sampling = []
+            for seed in range(2):
+                graph = triangle_free_degree_spread(
+                    n, d, int(math.sqrt(n * d / epsilon)), seed=seed
+                )
+                partition = partition_disjoint(graph, k=k, seed=seed + 1)
+                params = replace(
+                    _tuned_unrestricted_params(k, d),
+                    samples_per_bucket=2 * k,
+                    max_candidates=2 * k,
+                )
+                result = find_triangle_unrestricted(
+                    partition, params, seed=seed + 2
+                )
+                trial_total.append(result.total_bits)
+                trial_sampling.append(sampling_bits(result))
+            totals.append(statistics.median(trial_total))
+            sampling.append(statistics.median(trial_sampling))
+        return totals, sampling
+
+    totals, sampling = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    k_floats = [float(k) for k in ks]
+    total_fit = fit_power_law(k_floats, totals)
+    sampling_fit = fit_power_law(k_floats, sampling)
+    benchmark.extra_info["total_k_exponent"] = total_fit.exponent
+    benchmark.extra_info["sampling_k_exponent"] = sampling_fit.exponent
+    benchmark.extra_info["bits_per_k"] = dict(zip(ks, totals))
+    print_row(
+        f"T1-R1k   unrestricted k-sweep at n={n}: total bits ~ k^"
+        f"{total_fit.exponent:.2f}; bucket-sampling machinery ~ k^"
+        f"{sampling_fit.exponent:.2f} (the k² term: Θ~(k) samples x "
+        f"O(k log n) each)"
+    )
+    # The sampling machinery carries the k² term; the star-posting terms
+    # are k-linear, so the total sits between the two regimes.
+    assert sampling_fit.exponent > 1.5, sampling_fit
+    assert total_fit.exponent > 1.0, total_fit
+
+
+def test_early_exit_on_far_instance(benchmark, print_row):
+    """On far inputs the protocol stops at B_min: O~(k sqrt(d(B_min)) + k²).
+
+    Planted triangles live in the lowest buckets, so the found-path cost is
+    far below the worst-case control at the same size.
+    """
+    from repro.graphs.generators import far_instance
+
+    n, d, k = 4096, 8.0, 3
+    instance = far_instance(n, d, 0.2, seed=1)
+    partition = partition_disjoint(instance.graph, k=k, seed=2)
+    control = triangle_free_degree_spread(
+        n, d, int(math.sqrt(n * d / 0.2)), seed=3
+    )
+    control_partition = partition_disjoint(control, k=k, seed=4)
+    params = _tuned_unrestricted_params(k, d)
+
+    def run_both():
+        found = find_triangle_unrestricted(partition, params, seed=5)
+        control_run = find_triangle_unrestricted(
+            control_partition, params, seed=5
+        )
+        return found, control_run
+
+    found, control_run = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.extra_info["found_bits"] = found.total_bits
+    benchmark.extra_info["worst_case_bits"] = control_run.total_bits
+    print_row(
+        f"T1-R1e   early exit: far-instance cost {found.total_bits}b vs "
+        f"worst-case control {control_run.total_bits}b at n={n}"
+    )
+    assert found.found
+    assert found.total_bits < control_run.total_bits

@@ -1,0 +1,23 @@
+"""Shared fixtures and helpers for the Table 1 benchmark harness.
+
+Every benchmark measures wall time via pytest-benchmark *and* records the
+communication quantities the paper's Table 1 is actually about in
+``benchmark.extra_info`` — bits, fitted exponents, detection rates — and
+prints its table row(s), so running ``pytest benchmarks/ --benchmark-only``
+regenerates the paper's results summary as measured numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def print_row(capsys):
+    """Print a table row that survives pytest's capture (via -s or summary)."""
+
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n  {text}")
+
+    return emit

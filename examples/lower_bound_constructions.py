@@ -1,0 +1,146 @@
+"""Tour of the Section 4 lower-bound constructions, executed.
+
+Four stations:
+
+1. the hard distribution µ — sample it, certify farness (Lemma 4.5);
+2. the Boolean Matching reduction (Theorem 4.16) — watch one bit of w flip
+   a gadget between triangle-rich and triangle-free;
+3. symmetrization (Theorem 4.15) — verify E|Pi'| = (2/k)·CC(Pi) on a real
+   simultaneous protocol;
+4. covered edges (Definition 11) — exact posteriors showing how message
+   budget buys certainty, the engine of the Omega(sqrt n) bound.
+
+Run:  python examples/lower_bound_constructions.py
+"""
+
+from __future__ import annotations
+
+from repro.comm.encoding import edge_bits
+from repro.comm.players import make_players
+from repro.comm.simultaneous import run_simultaneous
+from repro.graphs import greedy_triangle_packing, is_triangle_free
+from repro.lowerbounds import (
+    BMInstance,
+    MuDistribution,
+    analyze_player,
+    bm_product,
+    covered_probability,
+    reduction_graph,
+    sample_bm_instance,
+    truncation_message,
+    verify_cost_identity,
+)
+
+
+def station_mu() -> None:
+    print("== 1. the hard distribution mu (Section 4.2.1)")
+    mu = MuDistribution(part_size=60, gamma=1.2)
+    sample = mu.sample(seed=1)
+    packing = greedy_triangle_packing(sample.graph)
+    print(
+        f"   n={mu.n}, p=gamma/sqrt(n)={mu.edge_probability:.4f}, "
+        f"sampled {sample.graph.num_edges} edges "
+        f"(E[deg]={mu.expected_average_degree():.1f})"
+    )
+    print(
+        f"   greedy edge-disjoint triangle packing: {len(packing)} "
+        f"triangles -> distance >= {len(packing)} edge removals"
+    )
+    print(
+        f"   split: Alice |U x V1|={len(sample.alice_edges)}, "
+        f"Bob |U x V2|={len(sample.bob_edges)}, "
+        f"Charlie |V1 x V2|={len(sample.charlie_edges)}"
+    )
+
+
+def station_bm() -> None:
+    print("\n== 2. Boolean Matching reduction (Theorem 4.16)")
+    n = 8
+    zeros = sample_bm_instance(n, "zeros", seed=2)
+    ones = sample_bm_instance(n, "ones", seed=2)
+    for label, instance in (("Mx^w = 0", zeros), ("Mx^w = 1", ones)):
+        graph, alice_edges, bob_edges = reduction_graph(instance)
+        packing = greedy_triangle_packing(graph)
+        print(
+            f"   {label}: graph on {graph.n} vertices, "
+            f"|Alice|={len(alice_edges)}, |Bob|={len(bob_edges)}, "
+            f"disjoint triangles={len(packing)}, "
+            f"triangle-free={is_triangle_free(graph)}"
+        )
+    print("   flipping one bit of w flips one gadget:")
+    flipped = BMInstance(
+        x=zeros.x,
+        matching=zeros.matching,
+        w=(1 - zeros.w[0],) + zeros.w[1:],
+    )
+    print(
+        f"   Mx^w before: {bm_product(zeros)[:4]}..., "
+        f"after flip: {bm_product(flipped)[:4]}..."
+    )
+
+
+def station_symmetrization() -> None:
+    print("\n== 3. symmetrization identity (Theorem 4.15)")
+    k = 8
+    mu = MuDistribution(part_size=15, gamma=1.0)
+
+    def sketch(partition, seed):
+        players = make_players(partition)
+        n = partition.graph.n
+        return run_simultaneous(
+            players,
+            message_fn=lambda p, _: sorted(p.edges)[:10],
+            message_bits=lambda edges: max(1, len(edges) * edge_bits(n)),
+            referee_fn=lambda messages, _: None,
+        )
+
+    report = verify_cost_identity(mu, k, sketch, trials=60, seed=3)
+    print(
+        f"   k={k}: measured special/total ratio "
+        f"{report.measured_ratio:.4f} vs predicted 2/k = "
+        f"{report.predicted_ratio:.4f} "
+        f"(relative error {report.relative_error:.1%})"
+    )
+    print("   => any 3-player one-way bound lifts to k players x (k/2)")
+
+
+def station_covered() -> None:
+    print("\n== 4. covered edges vs message budget (Definition 11)")
+    part = 2
+    prior = 0.35
+    u_part = list(range(part))
+    alice_universe = [(u, v1) for u in u_part for v1 in range(part)]
+    bob_universe = [(u, v2) for u in u_part for v2 in range(part)]
+    print(f"   universe: {len(alice_universe)} potential edges per player, "
+          f"prior p={prior}")
+    print(f"   {'budget':<8}{'E[covered pairs at 9/10]':<28}")
+    for budget in (0, 1, 2, 4):
+        alice = analyze_player(
+            alice_universe, prior, truncation_message(budget)
+        )
+        bob = analyze_player(bob_universe, prior, truncation_message(budget))
+        expectation = 0.0
+        for m1, p1 in alice.message_probabilities.items():
+            for m2, p2 in bob.message_probabilities.items():
+                count = sum(
+                    1
+                    for v1 in range(part)
+                    for v2 in range(part)
+                    if covered_probability(
+                        alice, bob, m1, m2, v1, v2, u_part
+                    ) >= 0.9
+                )
+                expectation += p1 * p2 * count
+        print(f"   {budget:<8}{expectation:<28.4f}")
+    print("   zero communication covers nothing; certainty is what costs.")
+
+
+def main() -> None:
+    station_mu()
+    station_bm()
+    station_symmetrization()
+    station_covered()
+
+
+if __name__ == "__main__":
+    main()

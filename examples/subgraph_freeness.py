@@ -1,0 +1,75 @@
+"""Beyond triangles: testing H-freeness for K4, C4 and C5.
+
+The paper closes by suggesting its techniques generalize "for detecting a
+wider class of subgraphs".  This example runs the generalized
+induced-sample simultaneous tester on planted instances of three patterns,
+next to the exact send-everything baseline.  The tester's cost is
+~(nd)^{1-2/h} against the baseline's ~nd, so the advantage grows with
+density and size — visible already at n=4000 here, and widening beyond.
+
+Run:  python examples/subgraph_freeness.py
+"""
+
+from __future__ import annotations
+
+from repro.core import exact_triangle_detection
+from repro.core.subgraph_detection import (
+    FIVE_CYCLE,
+    FOUR_CLIQUE,
+    FOUR_CYCLE,
+    SubgraphParams,
+    find_subgraph_simultaneous,
+    planted_disjoint_subgraphs,
+)
+from repro.graphs import bipartite_triangle_free, partition_disjoint
+from repro.graphs.graph import Graph
+
+
+def main() -> None:
+    n, k = 4000, 4
+    print(f"== planted H-freeness instances on n={n}, k={k}, d~9")
+    print(f"   {'pattern':<8}{'verdict':<10}{'copy':<34}"
+          f"{'tester bits':<13}{'exact bits':<12}{'saved'}")
+    for pattern, copies in ((FOUR_CLIQUE, 250), (FOUR_CYCLE, 250),
+                            (FIVE_CYCLE, 200)):
+        instance = planted_disjoint_subgraphs(
+            n, pattern, copies, seed=1, background_degree=8.0
+        )
+        partition = partition_disjoint(instance.graph, k, seed=2)
+        result = find_subgraph_simultaneous(
+            partition, pattern,
+            SubgraphParams(
+                epsilon=instance.epsilon_certified, c=1.2, rounds=3
+            ),
+            seed=3,
+        )
+        exact_bits = exact_triangle_detection(partition).total_bits
+        verdict = "found" if result.found else "missed"
+        saved = exact_bits / max(1, result.total_bits)
+        print(
+            f"   {pattern.name:<8}{verdict:<10}"
+            f"{str(result.copy):<34}{result.total_bits:<13}"
+            f"{exact_bits:<12}{saved:.1f}x"
+        )
+
+    print("\n== one-sided error on H-free controls")
+    controls = [
+        ("K4 on bipartite graph", FOUR_CLIQUE,
+         bipartite_triangle_free(600, 6.0, seed=4)),
+        ("C4 on a path", FOUR_CYCLE,
+         Graph(600, [(i, i + 1) for i in range(599)])),
+        ("C5 on bipartite graph", FIVE_CYCLE,  # odd cycles need odd walks
+         bipartite_triangle_free(600, 6.0, seed=5)),
+    ]
+    for label, pattern, control in controls:
+        partition = partition_disjoint(control, k, seed=6)
+        result = find_subgraph_simultaneous(
+            partition, pattern, SubgraphParams(epsilon=0.2, c=1.2), seed=7
+        )
+        assert not result.found, "one-sided error violated!"
+        print(f"   {label:<26} correctly H-free "
+              f"({result.total_bits} bits)")
+
+
+if __name__ == "__main__":
+    main()

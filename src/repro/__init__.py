@@ -1,0 +1,44 @@
+"""repro — multiparty communication complexity of testing triangle-freeness.
+
+A complete, executable reproduction of Fischer, Gershtein and Oshman,
+"On the Multiparty Communication Complexity of Testing Triangle-Freeness"
+(PODC 2017): the coordinator / simultaneous / one-way / blackboard
+communication models with exact bit accounting, every protocol of
+Section 3, every lower-bound construction of Section 4, the streaming
+corollary, and a benchmark harness regenerating the paper's Table 1 as
+measured scaling exponents.
+
+Quickstart::
+
+    from repro.graphs import far_instance, partition_disjoint
+    from repro.core import find_triangle_sim_low, SimLowParams
+
+    instance = far_instance(n=3000, d=4.0, epsilon=0.2, seed=1)
+    partition = partition_disjoint(instance.graph, k=4, seed=2)
+    result = find_triangle_sim_low(partition, SimLowParams(epsilon=0.2))
+    print(result.found, result.total_bits)
+
+Subpackages
+-----------
+``repro.comm``
+    Communication-model substrate (players, ledgers, shared coins).
+``repro.graphs``
+    Graphs, edge partitions, triangle machinery, degree bucketing,
+    workload generators.
+``repro.core``
+    The paper's protocols (Section 3) and the exact baseline.
+``repro.testing``
+    Query-model property testers, for query-vs-communication contrast.
+``repro.lowerbounds``
+    Section 4: the µ distribution, covered/reported edge analysis,
+    Boolean Matching reduction, symmetrization, degree embedding,
+    information-theory toolkit.
+``repro.streaming``
+    Data-stream runtime and the one-way <-> streaming reductions.
+``repro.analysis``
+    Scaling sweeps, exponent fits, and the Table 1 regeneration harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,23 @@
+"""Analysis harness: sweeps, exponent fits, Table 1 regeneration."""
+
+from repro.analysis.experiments import (
+    SweepPoint,
+    SweepResult,
+    default_instance,
+    run_sweep,
+)
+from repro.analysis.scaling import PowerLawFit, fit_power_law, strip_polylog
+from repro.analysis.table1 import ALL_ROWS, RowReport, generate_table1
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "default_instance",
+    "run_sweep",
+    "PowerLawFit",
+    "fit_power_law",
+    "strip_polylog",
+    "ALL_ROWS",
+    "RowReport",
+    "generate_table1",
+]

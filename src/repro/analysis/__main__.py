@@ -1,0 +1,58 @@
+"""Command-line Table 1 regeneration: ``python -m repro.analysis``.
+
+Options:
+  --full    run the larger sweeps (slower, tighter fits)
+  --seed N  base seed (default 0)
+  --row ID  run a single row by id (e.g. T1-R2a, X-1, L4.5)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import table1
+from repro.analysis.table1 import generate_table1
+
+ROWS_BY_ID = {
+    "T1-R1": table1.row_unrestricted_upper,
+    "T1-R2A": table1.row_sim_low_upper,
+    "T1-R2B": table1.row_sim_high_upper,
+    "T1-R2C": table1.row_oblivious,
+    "X-1": table1.row_exact_baseline,
+    "T1-R3": table1.row_oneway_streaming_lower,
+    "T1-R4": table1.row_sim_covered_lower,
+    "T1-R5": table1.row_symmetrization,
+    "T1-R6": table1.row_bm_lower,
+    "L4.5": table1.row_mu_farness,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Regenerate the paper's Table 1 as measured quantities.",
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="larger sweeps (slower, tighter fits)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--row", type=str, default=None,
+                        help="run one row by id, e.g. "
+                             + ", ".join(ROWS_BY_ID))
+    args = parser.parse_args(argv)
+
+    quick = not args.full
+    if args.row is None:
+        print(generate_table1(quick=quick, seed=args.seed))
+        return 0
+    row_fn = ROWS_BY_ID.get(args.row.upper())
+    if row_fn is None:
+        print(f"unknown row id {args.row!r}; known: "
+              + ", ".join(ROWS_BY_ID), file=sys.stderr)
+        return 2
+    print(row_fn(quick=quick, seed=args.seed).formatted())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,104 @@
+"""Sweep runner: execute protocols over (n, d, k) grids and collect costs.
+
+Each sweep point runs a protocol on freshly generated epsilon-far instances
+over several seeds and records median communication and detection rate.
+The records feed :mod:`repro.analysis.scaling` fits and the Table 1 harness.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.results import DetectionResult
+from repro.graphs.generators import far_instance
+from repro.graphs.partition import EdgePartition, partition_disjoint
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep", "default_instance"]
+
+ProtocolFn = Callable[[EdgePartition, int], DetectionResult]
+InstanceFn = Callable[[int, float, int], EdgePartition]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's aggregated measurements."""
+
+    n: int
+    d: float
+    k: int
+    median_bits: float
+    mean_bits: float
+    detection_rate: float
+    trials: int
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, with fit-ready accessors."""
+
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def xs(self, key: str) -> list[float]:
+        if key == "n":
+            return [p.n for p in self.points]
+        if key == "d":
+            return [p.d for p in self.points]
+        if key == "k":
+            return [p.k for p in self.points]
+        if key == "nd":
+            return [p.n * p.d for p in self.points]
+        raise ValueError(f"unknown sweep axis {key!r}")
+
+    def bits(self) -> list[float]:
+        return [p.median_bits for p in self.points]
+
+    def detection_rates(self) -> list[float]:
+        return [p.detection_rate for p in self.points]
+
+
+def default_instance(epsilon: float = 0.2,
+                     k: int = 3) -> InstanceFn:
+    """Planted epsilon-far instances, disjointly partitioned among k."""
+
+    def build(n: int, d: float, seed: int) -> EdgePartition:
+        instance = far_instance(n=n, d=d, epsilon=epsilon, seed=seed)
+        return partition_disjoint(instance.graph, k=k, seed=seed + 1)
+
+    return build
+
+
+def run_sweep(protocol: ProtocolFn, instance_fn: InstanceFn,
+              grid: Sequence[tuple[int, float, int]],
+              trials: int = 3, seed: int = 0) -> SweepResult:
+    """Run ``protocol`` at every (n, d, k) grid point, ``trials`` seeds each.
+
+    ``instance_fn(n, d, seed)`` must honour k itself (close over it); the
+    k recorded in the point is taken from the produced partition.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    result = SweepResult()
+    for index, (n, d, k) in enumerate(grid):
+        costs: list[float] = []
+        detections = 0
+        for trial in range(trials):
+            point_seed = seed + 104_729 * index + trial
+            partition = instance_fn(n, d, point_seed)
+            outcome = protocol(partition, point_seed)
+            costs.append(float(outcome.total_bits))
+            if outcome.found:
+                detections += 1
+        result.points.append(
+            SweepPoint(
+                n=n,
+                d=d,
+                k=k,
+                median_bits=statistics.median(costs),
+                mean_bits=statistics.fmean(costs),
+                detection_rate=detections / trials,
+                trials=trials,
+            )
+        )
+    return result

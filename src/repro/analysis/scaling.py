@@ -1,0 +1,85 @@
+"""Scaling analysis: power-law exponent fits for communication costs.
+
+The paper's Table 1 states asymptotic bounds; the reproduction measures
+communication bits over sweeps of (n, d, k) and fits
+
+    cost ≈ coefficient · x^exponent        (log-log least squares)
+
+to compare the measured exponent against the claimed one.  Polylog factors
+(the O~ in every bound) bias small-range fits upward, so
+:func:`strip_polylog` divides them out before fitting when a bound's
+polylog power is known.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "strip_polylog"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of log(y) = exponent·log(x) + log(coefficient)."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+    points: int
+
+    def predicted(self, x: float) -> float:
+        return self.coefficient * x ** self.exponent
+
+    def matches(self, claimed_exponent: float, tolerance: float) -> bool:
+        """Is the measured exponent within ±tolerance of the claim?"""
+        return abs(self.exponent - claimed_exponent) <= tolerance
+
+    def __str__(self) -> str:
+        return (
+            f"y ~ {self.coefficient:.3g} * x^{self.exponent:.3f} "
+            f"(R²={self.r_squared:.3f}, {self.points} pts)"
+        )
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit y = c·x^a by least squares in log-log space."""
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"length mismatch: {len(xs)} xs vs {len(ys)} ys"
+        )
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fits require positive data")
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    slope, intercept = np.polyfit(log_x, log_y, deg=1)
+    predictions = slope * log_x + intercept
+    residual = float(np.sum((log_y - predictions) ** 2))
+    total = float(np.sum((log_y - log_y.mean()) ** 2))
+    r_squared = 1.0 if total == 0.0 else 1.0 - residual / total
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(math.exp(intercept)),
+        r_squared=r_squared,
+        points=len(xs),
+    )
+
+
+def strip_polylog(values: Sequence[float], sizes: Sequence[float],
+                  log_power: float) -> list[float]:
+    """Divide out a log^a factor before fitting: y / (log2 x)^a."""
+    if len(values) != len(sizes):
+        raise ValueError(
+            f"length mismatch: {len(values)} values vs {len(sizes)} sizes"
+        )
+    stripped = []
+    for value, size in zip(values, sizes):
+        if size <= 1:
+            raise ValueError(f"sizes must exceed 1, got {size}")
+        stripped.append(value / math.log2(size) ** log_power)
+    return stripped

@@ -1,0 +1,501 @@
+"""Regenerate the paper's Table 1 as measured quantities.
+
+The paper's only table summarizes asymptotic bounds per model and degree
+regime.  Each ``row_*`` function here runs the corresponding experiment and
+returns a :class:`RowReport` holding the paper's claim next to the measured
+value:
+
+* upper-bound rows measure communication over (n, d, k) sweeps and fit the
+  scaling exponent (polylog factors stripped per the O~ in each bound);
+* lower-bound rows execute the paper's constructions and report the
+  quantity the construction certifies (farness probability, covered-edge
+  growth, the symmetrization cost ratio, the BM dichotomy).
+
+``generate_table1(quick=True)`` renders all rows as a text table; the
+benchmark files call individual rows.  Upper-bound sweeps run the protocols
+with scaled-down sample constants (identical functional forms — see
+DESIGN.md) and, for the unrestricted protocol, on triangle-free
+degree-spread controls, because a one-sided tester pays its worst-case
+cost exactly when no triangle is ever found.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.experiments import SweepResult, run_sweep
+from repro.analysis.scaling import PowerLawFit, fit_power_law, strip_polylog
+from repro.comm.simultaneous import SimultaneousRun, run_simultaneous
+from repro.core.degree_approx import DegreeApproxParams
+from repro.core.exact_baseline import exact_triangle_detection
+from repro.core.oblivious import ObliviousParams, find_triangle_sim_oblivious
+from repro.core.simultaneous_high import SimHighParams, find_triangle_sim_high
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+from repro.core.unrestricted import (
+    UnrestrictedParams,
+    find_triangle_unrestricted,
+)
+from repro.comm.encoding import edge_bits
+from repro.comm.players import make_players
+from repro.graphs.generators import far_instance, triangle_free_degree_spread
+from repro.graphs.partition import EdgePartition, partition_disjoint
+from repro.lowerbounds.boolean_matching import (
+    bm_product,
+    reduction_graph,
+    sample_bm_instance,
+)
+from repro.lowerbounds.covered import (
+    analyze_player,
+    covered_probability,
+    truncation_message,
+)
+from repro.lowerbounds.distributions import (
+    MuDistribution,
+    estimate_far_probability,
+)
+from repro.lowerbounds.symmetrization import verify_cost_identity
+from repro.graphs.triangles import (
+    greedy_triangle_packing,
+    is_triangle_free,
+)
+from repro.streaming.stream import run_stream
+from repro.streaming.triangle_stream import ReservoirTriangleFinder
+
+__all__ = [
+    "RowReport",
+    "row_unrestricted_upper",
+    "row_sim_low_upper",
+    "row_sim_high_upper",
+    "row_oblivious",
+    "row_exact_baseline",
+    "row_oneway_streaming_lower",
+    "row_sim_covered_lower",
+    "row_symmetrization",
+    "row_bm_lower",
+    "generate_table1",
+    "ALL_ROWS",
+]
+
+
+@dataclass(frozen=True)
+class RowReport:
+    """One Table 1 row: the paper's claim next to the measurement."""
+
+    row_id: str
+    description: str
+    paper_bound: str
+    metric: str
+    claimed: float | None
+    measured: float
+    note: str = ""
+
+    def formatted(self) -> str:
+        claimed = "-" if self.claimed is None else f"{self.claimed:.3f}"
+        return (
+            f"{self.row_id:<8} {self.description:<42} "
+            f"{self.paper_bound:<22} {self.metric:<28} "
+            f"claimed={claimed:<8} measured={self.measured:.3f}  {self.note}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared sweep configurations
+# ----------------------------------------------------------------------
+def _tuned_unrestricted_params(k: int, d: float) -> UnrestrictedParams:
+    """Scaled-down constants, identical functional forms (see DESIGN.md)."""
+    return UnrestrictedParams(
+        epsilon=0.2,
+        delta=0.2,
+        known_average_degree=d,
+        samples_per_bucket=2 * k,
+        max_candidates=4,
+        # Keep p in its sqrt(log n / d') regime at reproduction sizes:
+        # with scale 1.0 the paper's constants saturate p at 1 until
+        # d' ~ 1e5, which would flatten the (nd)^{1/4} shape into sqrt(nd).
+        edge_probability_scale=0.01,
+        degree_params=DegreeApproxParams(
+            alpha=math.sqrt(3.0), tau=0.2, experiments_override=6
+        ),
+    )
+
+
+def row_unrestricted_upper(quick: bool = True, seed: int = 0) -> RowReport:
+    """T1-R1: unrestricted upper bound O~(k (nd)^{1/4} + k²).
+
+    Measured on triangle-free degree-spread controls (worst-case path: the
+    one-sided tester never exits early), exponent fit on nd after
+    stripping the bound's polylog factor.
+    """
+    ns = (
+        [2048, 4096, 8192, 16384]
+        if quick
+        else [2048, 4096, 8192, 16384, 32768]
+    )
+    d = 8.0
+    k = 3
+    epsilon = 0.2
+
+    def instance(n: int, density: float, instance_seed: int) -> EdgePartition:
+        max_degree = int(math.sqrt(n * density / epsilon))
+        graph = triangle_free_degree_spread(
+            n, density, max_degree, seed=instance_seed
+        )
+        return partition_disjoint(graph, k=k, seed=instance_seed + 1)
+
+    def protocol(partition: EdgePartition, run_seed: int):
+        return find_triangle_unrestricted(
+            partition, _tuned_unrestricted_params(k, d), seed=run_seed
+        )
+
+    sweep = run_sweep(
+        protocol, instance, [(n, d, k) for n in ns],
+        trials=3 if quick else 5, seed=seed,
+    )
+    nds = sweep.xs("nd")
+    # The dominant SampleEdges term carries one log n factor (edge ids)
+    # times the sqrt(log n) inside p; strip one log before fitting.
+    stripped = strip_polylog(sweep.bits(), nds, log_power=1.0)
+    fit = fit_power_law(nds, stripped)
+    return RowReport(
+        row_id="T1-R1",
+        description="triangle-freeness, unrestricted, upper",
+        paper_bound="O~(k(nd)^1/4 + k^2)",
+        metric="exponent of bits vs nd",
+        claimed=0.25,
+        measured=fit.exponent,
+        note=f"R²={fit.r_squared:.3f} on triangle-free worst-case controls",
+    )
+
+
+def row_sim_low_upper(quick: bool = True, seed: int = 0) -> RowReport:
+    """T1-R2a: simultaneous, d = O(sqrt(n)): O~(k sqrt(n))."""
+    ns = [600, 1200, 2400, 4800] if quick else [600, 1200, 2400, 4800, 9600]
+    d = 6.0
+    k = 3
+    params = SimLowParams(epsilon=0.2, delta=0.2)
+
+    def instance(n: int, density: float, instance_seed: int) -> EdgePartition:
+        built = far_instance(n, density, epsilon=0.2, seed=instance_seed)
+        return partition_disjoint(built.graph, k=k, seed=instance_seed + 1)
+
+    sweep = run_sweep(
+        lambda partition, s: find_triangle_sim_low(partition, params, seed=s),
+        instance, [(n, d, k) for n in ns],
+        trials=3, seed=seed,
+    )
+    stripped = strip_polylog(sweep.bits(), sweep.xs("n"), log_power=1.0)
+    fit = fit_power_law(sweep.xs("n"), stripped)
+    detection = statistics.fmean(sweep.detection_rates())
+    return RowReport(
+        row_id="T1-R2a",
+        description="triangle-freeness, simultaneous, d=O(sqrt n)",
+        paper_bound="O~(k sqrt(n))",
+        metric="exponent of bits vs n",
+        claimed=0.5,
+        measured=fit.exponent,
+        note=f"R²={fit.r_squared:.3f}, detection={detection:.2f}",
+    )
+
+
+def row_sim_high_upper(quick: bool = True, seed: int = 0) -> RowReport:
+    """T1-R2b: simultaneous, d = Ω(sqrt(n)): O~(k (nd)^{1/3})."""
+    ns = [400, 900, 1600, 2500] if quick else [400, 900, 1600, 2500, 3600]
+    k = 3
+    params = SimHighParams(epsilon=0.2, delta=0.2, c=2.0)
+
+    def instance(n: int, density: float, instance_seed: int) -> EdgePartition:
+        built = far_instance(n, density, epsilon=0.2, seed=instance_seed)
+        return partition_disjoint(built.graph, k=k, seed=instance_seed + 1)
+
+    grid = [(n, math.sqrt(n), k) for n in ns]
+    sweep = run_sweep(
+        lambda partition, s: find_triangle_sim_high(partition, params, seed=s),
+        instance, grid, trials=3, seed=seed,
+    )
+    stripped = strip_polylog(sweep.bits(), sweep.xs("nd"), log_power=1.0)
+    fit = fit_power_law(sweep.xs("nd"), stripped)
+    detection = statistics.fmean(sweep.detection_rates())
+    return RowReport(
+        row_id="T1-R2b",
+        description="triangle-freeness, simultaneous, d=Omega(sqrt n)",
+        paper_bound="O~(k (nd)^1/3)",
+        metric="exponent of bits vs nd",
+        claimed=1.0 / 3.0,
+        measured=fit.exponent,
+        note=f"R²={fit.r_squared:.3f}, detection={detection:.2f}",
+    )
+
+
+def row_oblivious(quick: bool = True, seed: int = 0) -> RowReport:
+    """T1-R2c: degree-oblivious simultaneous within polylog of degree-aware."""
+    n = 1600 if quick else 4800
+    d = 6.0
+    k = 4
+    trials = 3 if quick else 6
+    ratios: list[float] = []
+    for trial in range(trials):
+        built = far_instance(n, d, epsilon=0.2, seed=seed + trial)
+        partition = partition_disjoint(built.graph, k=k, seed=seed + trial + 1)
+        aware = find_triangle_sim_low(
+            partition, SimLowParams(epsilon=0.2, delta=0.2), seed=seed + trial
+        )
+        oblivious = find_triangle_sim_oblivious(
+            partition, ObliviousParams(epsilon=0.2, delta=0.2),
+            seed=seed + trial,
+        )
+        ratios.append(oblivious.total_bits / max(1, aware.total_bits))
+    polylog = math.log2(n) ** 2
+    measured = statistics.fmean(ratios)
+    return RowReport(
+        row_id="T1-R2c",
+        description="degree-oblivious simultaneous (Thm 3.32)",
+        paper_bound="degree-aware x polylog",
+        metric="bits ratio oblivious/aware",
+        claimed=None,
+        measured=measured,
+        note=f"allowed polylog budget ~log²n = {polylog:.0f}",
+    )
+
+
+def row_exact_baseline(quick: bool = True, seed: int = 0) -> RowReport:
+    """X-1: exact detection pays Θ(nd) — the [38] regime testing escapes."""
+    ns = [600, 1200, 2400, 4800]
+    d = 6.0
+    k = 3
+
+    def instance(n: int, density: float, instance_seed: int) -> EdgePartition:
+        built = far_instance(n, density, epsilon=0.2, seed=instance_seed)
+        return partition_disjoint(built.graph, k=k, seed=instance_seed + 1)
+
+    sweep = run_sweep(
+        lambda partition, _s: exact_triangle_detection(partition),
+        instance, [(n, d, k) for n in ns],
+        trials=2, seed=seed,
+    )
+    stripped = strip_polylog(sweep.bits(), sweep.xs("nd"), log_power=1.0)
+    fit = fit_power_law(sweep.xs("nd"), stripped)
+    return RowReport(
+        row_id="X-1",
+        description="exact detection baseline ([38] regime)",
+        paper_bound="Theta(k n d)",
+        metric="exponent of bits vs nd",
+        claimed=1.0,
+        measured=fit.exponent,
+        note=f"R²={fit.r_squared:.3f}",
+    )
+
+
+def row_oneway_streaming_lower(quick: bool = True, seed: int = 0
+                               ) -> RowReport:
+    """T1-R3: one-way / streaming hardness evidence on µ.
+
+    The Ω((nd)^{1/6}) bound (Ω(n^{1/4}) at d = Θ(sqrt n)) cannot be
+    measured directly; we run the reservoir streaming finder on µ samples
+    and report the space (in edges) needed for >= 50% success, which
+    should grow with n — while far below the trivial Θ(m).
+    """
+    trials = 10 if quick else 20
+    reservoir_sizes = [2, 4, 8, 16, 32, 64, 128, 256]
+
+    def needed_space(part_size: int) -> int:
+        mu = MuDistribution(part_size=part_size, gamma=1.2)
+        for size in reservoir_sizes:
+            successes = 0
+            for trial in range(trials):
+                sample = mu.sample(seed=seed + trial)
+                if is_triangle_free(sample.graph):
+                    successes += 1  # nothing to find: vacuous success
+                    continue
+                finder = ReservoirTriangleFinder(
+                    sample.graph.n, reservoir_size=size,
+                    seed=seed + 31 * trial,
+                )
+                run = run_stream(finder, sorted(sample.graph.edges()))
+                if run.result is not None:
+                    successes += 1
+            if successes / trials >= 0.5:
+                return size
+        return reservoir_sizes[-1]
+
+    small_part, large_part = (24, 96) if quick else (36, 144)
+    small_need = needed_space(small_part)
+    large_need = needed_space(large_part)
+    # The lower bound says space must grow at least like n^{1/4}; with a
+    # 4x part-size increase that is a factor 4^{1/4} = sqrt(2).
+    claimed_growth = 4.0 ** 0.25
+    measured_growth = large_need / max(1, small_need)
+    return RowReport(
+        row_id="T1-R3",
+        description="triangle-edge, ext. one-way / streaming, lower",
+        paper_bound="Omega((nd)^1/6)",
+        metric="space growth for n x4",
+        claimed=claimed_growth,
+        measured=measured_growth,
+        note=(
+            f"needed reservoir: {small_need} @ n={3 * small_part}, "
+            f"{large_need} @ n={3 * large_part} "
+            "(bound: growth >= n^1/4 factor)"
+        ),
+    )
+
+
+def row_sim_covered_lower(quick: bool = True, seed: int = 0) -> RowReport:
+    """T1-R4: covered-edge counts vs message budget (exact posteriors).
+
+    The expected covered *mass* Σ Pr[Cov(e)] is budget-invariant (tower
+    rule); what a bigger message buys is *certainty* — pairs whose
+    posterior crosses the 9/10 threshold of Definition 11.  On a small µ
+    universe we compute E[|C(t)|] exactly per budget: zero without
+    communication, growing with the budget, which is the trade-off the
+    Section 4.2.3 bound quantifies.
+    """
+    part = 2
+    prior = 0.35
+    u_part = list(range(part))
+    alice_universe = [(u, v1) for u in u_part for v1 in range(part)]
+    bob_universe = [(u, v2) for u in u_part for v2 in range(part)]
+    budgets = [0, 1, 2, 4]
+    expected_covered: list[float] = []
+    for budget in budgets:
+        alice = analyze_player(
+            alice_universe, prior, truncation_message(budget)
+        )
+        bob = analyze_player(bob_universe, prior, truncation_message(budget))
+        expectation = 0.0
+        for m1, p1 in alice.message_probabilities.items():
+            for m2, p2 in bob.message_probabilities.items():
+                count = sum(
+                    1
+                    for v1 in range(part)
+                    for v2 in range(part)
+                    if covered_probability(
+                        alice, bob, m1, m2, v1, v2, u_part
+                    ) >= 0.9
+                )
+                expectation += p1 * p2 * count
+        expected_covered.append(expectation)
+    return RowReport(
+        row_id="T1-R4",
+        description="triangle-edge, simultaneous 3p, lower",
+        paper_bound="Omega((nd)^1/3)",
+        metric="E|C(t)| gain (budget 0->4)",
+        claimed=None,
+        measured=expected_covered[-1] - expected_covered[0],
+        note=(
+            "exact posteriors; E|C| per budget: "
+            + ", ".join(f"{m:.3f}" for m in expected_covered)
+        ),
+    )
+
+
+def _sketch_protocol(max_edges: int) -> Callable[[EdgePartition, int],
+                                                 SimultaneousRun]:
+    """A simple simultaneous protocol for the symmetrization identity."""
+
+    def run(partition: EdgePartition, seed: int) -> SimultaneousRun:
+        players = make_players(partition)
+        n = partition.graph.n
+        return run_simultaneous(
+            players,
+            message_fn=lambda p, _: sorted(p.edges)[:max_edges],
+            message_bits=lambda edges: max(1, len(edges) * edge_bits(n)),
+            referee_fn=lambda messages, _: None,
+        )
+
+    return run
+
+
+def row_symmetrization(quick: bool = True, seed: int = 0) -> RowReport:
+    """T1-R5: the Theorem 4.15 identity E|Pi'| = (2/k) CC(Pi)."""
+    k = 6
+    mu = MuDistribution(part_size=18, gamma=1.0)
+    report = verify_cost_identity(
+        mu, k, _sketch_protocol(max_edges=12),
+        trials=30 if quick else 120, seed=seed,
+    )
+    return RowReport(
+        row_id="T1-R5",
+        description="triangle-edge, simultaneous k players, lower",
+        paper_bound="Omega(k (nd)^1/6)",
+        metric="special/total cost ratio",
+        claimed=report.predicted_ratio,
+        measured=report.measured_ratio,
+        note=f"k={k}; identity lifts 3-player bounds by k/2",
+    )
+
+
+def row_bm_lower(quick: bool = True, seed: int = 0) -> RowReport:
+    """T1-R6: the BM reduction dichotomy behind the Omega(sqrt n) bound."""
+    n = 24 if quick else 64
+    trials = 10 if quick else 40
+    verified = 0
+    for trial in range(trials):
+        zeros = sample_bm_instance(n, "zeros", seed=seed + trial)
+        ones = sample_bm_instance(n, "ones", seed=seed + trial)
+        graph_zeros, _, _ = reduction_graph(zeros)
+        graph_ones, _, _ = reduction_graph(ones)
+        zero_ok = (
+            all(bit == 0 for bit in bm_product(zeros))
+            and len(greedy_triangle_packing(graph_zeros)) == n
+        )
+        one_ok = (
+            all(bit == 1 for bit in bm_product(ones))
+            and is_triangle_free(graph_ones)
+        )
+        if zero_ok and one_ok:
+            verified += 1
+    return RowReport(
+        row_id="T1-R6",
+        description="triangle-freeness, simultaneous, d=Theta(1), lower",
+        paper_bound="Omega(sqrt(n))",
+        metric="BM dichotomy verified rate",
+        claimed=1.0,
+        measured=verified / trials,
+        note=f"n disjoint triangles vs triangle-free, n={n}",
+    )
+
+
+def row_mu_farness(quick: bool = True, seed: int = 0) -> RowReport:
+    """Lemma 4.5 support: µ samples are far w.p. >= 1/2."""
+    mu = MuDistribution(part_size=30 if quick else 60, gamma=1.2)
+    probability = estimate_far_probability(
+        mu, trials=10 if quick else 30, seed=seed
+    )
+    return RowReport(
+        row_id="L4.5",
+        description="mu is Omega(1)-far w.p. >= 1/2",
+        paper_bound="Pr >= 1/2",
+        metric="empirical far probability",
+        claimed=0.5,
+        measured=probability,
+        note=f"gamma={mu.gamma}, n={mu.n}",
+    )
+
+
+ALL_ROWS = [
+    row_unrestricted_upper,
+    row_sim_low_upper,
+    row_sim_high_upper,
+    row_oblivious,
+    row_exact_baseline,
+    row_oneway_streaming_lower,
+    row_sim_covered_lower,
+    row_symmetrization,
+    row_bm_lower,
+    row_mu_farness,
+]
+
+
+def generate_table1(quick: bool = True, seed: int = 0) -> str:
+    """Run every row and render the reproduction of Table 1."""
+    lines = [
+        "Table 1 reproduction — paper bound vs measured "
+        f"({'quick' if quick else 'full'} mode)",
+        "-" * 118,
+    ]
+    for row_fn in ALL_ROWS:
+        lines.append(row_fn(quick=quick, seed=seed).formatted())
+    return "\n".join(lines)

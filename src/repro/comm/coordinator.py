@@ -1,0 +1,98 @@
+"""Coordinator-model runtime (the paper's default model, Section 2).
+
+k players hold private inputs and communicate only with a coordinator over
+private channels; in each round the coordinator messages one player, who
+responds.  The runtime couples the :class:`~repro.comm.players.Player`
+objects, a shared-randomness source, and a :class:`CommunicationLedger`, and
+offers charged messaging helpers so protocol code cannot move information
+without paying for it.
+
+The helpers encode the two dominant interaction shapes of Section 3:
+
+* :meth:`collect` — coordinator polls every player with the same request and
+  gathers their responses (one round per player, as the model requires);
+* :meth:`broadcast` — coordinator sends the same payload to everyone
+  (k downstream messages; the coordinator model has no cheap broadcast).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.comm.ledger import CommunicationLedger
+from repro.comm.players import Player
+from repro.comm.randomness import SharedRandomness
+
+__all__ = ["CoordinatorRuntime"]
+
+T = TypeVar("T")
+
+
+class CoordinatorRuntime:
+    """Execution context for one coordinator-model protocol run."""
+
+    def __init__(self, players: Sequence[Player],
+                 shared: SharedRandomness | None = None,
+                 ledger: CommunicationLedger | None = None) -> None:
+        if not players:
+            raise ValueError("a protocol needs at least one player")
+        self.players = list(players)
+        self.n = players[0].n
+        if any(p.n != self.n for p in players):
+            raise ValueError("players disagree on the vertex universe size")
+        self.k = len(players)
+        self.shared = shared if shared is not None else SharedRandomness()
+        self.ledger = ledger if ledger is not None else CommunicationLedger()
+
+    # ------------------------------------------------------------------
+    # Charged interactions
+    # ------------------------------------------------------------------
+    def collect(self, compute: Callable[[Player], T],
+                response_bits: Callable[[T], int],
+                label: str = "", request_bits: int = 1) -> list[T]:
+        """Poll every player: send a request, collect charged responses.
+
+        ``compute`` is the player's local computation; ``response_bits``
+        prices its result.  ``request_bits`` is the downstream cost of
+        telling the player what to do (1 bit suffices when the request is
+        implied by the protocol's public state, which is the common case —
+        the players follow the same public transcript).
+        """
+        responses: list[T] = []
+        for player in self.players:
+            self.ledger.begin_round()
+            if request_bits:
+                self.ledger.charge_downstream(
+                    player.player_id, request_bits, label
+                )
+            result = compute(player)
+            responses.append(result)
+            self.ledger.charge_upstream(
+                player.player_id, response_bits(result), label
+            )
+        return responses
+
+    def collect_from(self, player_id: int, compute: Callable[[Player], T],
+                     response_bits: Callable[[T], int],
+                     label: str = "", request_bits: int = 1) -> T:
+        """One-player round: request + charged response."""
+        player = self.players[player_id]
+        self.ledger.begin_round()
+        if request_bits:
+            self.ledger.charge_downstream(player_id, request_bits, label)
+        result = compute(player)
+        self.ledger.charge_upstream(
+            player_id, response_bits(result), label
+        )
+        return result
+
+    def broadcast(self, bits: int, label: str = "") -> None:
+        """Coordinator sends the same ``bits``-bit payload to all players."""
+        self.ledger.charge_broadcast(self.k, bits, label)
+
+    def scope(self, label: str):
+        """Attribute contained communication to a sub-procedure label."""
+        return self.ledger.scope(label)
+
+    def __repr__(self) -> str:
+        return f"CoordinatorRuntime(k={self.k}, n={self.n})"

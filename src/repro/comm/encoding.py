@@ -1,0 +1,112 @@
+"""Bit-size calculus for protocol messages.
+
+Communication complexity counts *bits*, so every message a player or the
+coordinator sends must be assigned an explicit bit cost.  This module is the
+single source of truth for those costs.  The conventions match the encodings
+the paper's asymptotic analysis implicitly assumes:
+
+* a vertex id out of a universe of ``n`` vertices costs ``ceil(log2 n)`` bits;
+* an (undirected) edge costs two vertex ids;
+* a non-negative integer ``x`` with a known upper bound ``m`` costs
+  ``ceil(log2 (m + 1))`` bits;
+* a self-delimiting integer (no known bound) uses the Elias gamma code,
+  ``2 * floor(log2 x) + 1`` bits — this is what "sending the index of the MSB"
+  style messages (Theorem 3.1) cost up to constants;
+* a single indicator costs one bit.
+
+All functions return ``int`` bit counts and never charge less than one bit
+for a non-empty message, because a message's presence is itself information.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "bits_for_universe",
+    "vertex_bits",
+    "edge_bits",
+    "int_bits",
+    "elias_gamma_bits",
+    "indicator_bits",
+    "edge_list_bits",
+    "vertex_list_bits",
+]
+
+
+def bits_for_universe(size: int) -> int:
+    """Bits needed to name one element of a universe of ``size`` elements.
+
+    A universe of one element still costs one bit (the message must be
+    distinguishable from silence).  Raises ``ValueError`` for an empty
+    universe, because no element can be named.
+    """
+    if size < 1:
+        raise ValueError(f"universe must be non-empty, got size={size}")
+    return max(1, math.ceil(math.log2(size)))
+
+
+def vertex_bits(n: int) -> int:
+    """Cost of one vertex id in a graph on ``n`` vertices."""
+    return bits_for_universe(n)
+
+
+def edge_bits(n: int) -> int:
+    """Cost of one undirected edge in a graph on ``n`` vertices.
+
+    We charge two vertex ids.  (An optimal encoding of an unordered pair
+    saves one bit; the distinction never matters asymptotically and the
+    paper charges ``O(log n)`` per edge.)
+    """
+    return 2 * vertex_bits(n)
+
+
+def int_bits(value: int, upper_bound: int) -> int:
+    """Cost of an integer ``0 <= value <= upper_bound`` with the bound known.
+
+    The bound is public knowledge (part of the protocol), so the integer
+    can be sent in fixed width ``ceil(log2 (upper_bound + 1))``.
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value > upper_bound:
+        raise ValueError(f"value {value} exceeds declared bound {upper_bound}")
+    return bits_for_universe(upper_bound + 1)
+
+
+def elias_gamma_bits(value: int) -> int:
+    """Cost of a self-delimiting positive integer (Elias gamma code).
+
+    Used when no a-priori bound is shared, e.g. a player reporting the MSB
+    index of its local degree count in Theorem 3.1.
+    """
+    if value < 1:
+        raise ValueError(f"Elias gamma encodes positive integers, got {value}")
+    return 2 * int(math.floor(math.log2(value))) + 1
+
+
+def indicator_bits() -> int:
+    """Cost of a single yes/no indicator."""
+    return 1
+
+
+def edge_list_bits(count: int, n: int) -> int:
+    """Cost of sending ``count`` edges of a graph on ``n`` vertices.
+
+    An empty list still costs one bit ("I have nothing"), matching the
+    convention that silence is not free once a player is required to speak.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return 1
+    return count * edge_bits(n)
+
+
+def vertex_list_bits(count: int, n: int) -> int:
+    """Cost of sending ``count`` vertex ids of a graph on ``n`` vertices."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return 1
+    return count * vertex_bits(n)

@@ -1,0 +1,162 @@
+"""Communication accounting for multiparty protocols.
+
+The :class:`CommunicationLedger` records every message exchanged between the
+players and the coordinator (or referee): direction, bit cost, and an
+optional label describing which sub-procedure sent it.  Protocol complexity
+claims are then checked against :meth:`CommunicationLedger.total_bits`.
+
+The ledger also counts *rounds* in the coordinator model's sense: a round is
+one coordinator->player message followed by the player's response.  For
+simultaneous protocols, every player speaks exactly once and the round count
+is one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["MessageRecord", "CostSummary", "CommunicationLedger"]
+
+COORDINATOR = -1
+"""Pseudo player id for the coordinator / referee."""
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One message: who sent it, who receives it, how many bits, and why."""
+
+    sender: int
+    receiver: int
+    bits: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ValueError(f"message cost must be non-negative, got {self.bits}")
+
+
+@dataclass
+class CostSummary:
+    """Aggregated view of a protocol run's communication."""
+
+    total_bits: int
+    upstream_bits: int
+    downstream_bits: int
+    rounds: int
+    messages: int
+    bits_by_label: dict[str, int] = field(default_factory=dict)
+    bits_by_player: dict[int, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"CostSummary(total={self.total_bits}b, up={self.upstream_bits}b, "
+            f"down={self.downstream_bits}b, rounds={self.rounds}, "
+            f"messages={self.messages})"
+        )
+
+
+class CommunicationLedger:
+    """Mutable record of all communication in one protocol execution."""
+
+    def __init__(self) -> None:
+        self._records: list[MessageRecord] = []
+        self._rounds = 0
+        self._label_stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def charge_upstream(self, player: int, bits: int, label: str = "") -> None:
+        """Record a player -> coordinator message of ``bits`` bits."""
+        self._records.append(
+            MessageRecord(player, COORDINATOR, bits, label or self._current_label())
+        )
+
+    def charge_downstream(self, player: int, bits: int, label: str = "") -> None:
+        """Record a coordinator -> player message of ``bits`` bits."""
+        self._records.append(
+            MessageRecord(COORDINATOR, player, bits, label or self._current_label())
+        )
+
+    def charge_broadcast(self, num_players: int, bits: int, label: str = "") -> None:
+        """Record the coordinator sending the same ``bits``-bit message to all.
+
+        In the coordinator model a broadcast costs ``num_players * bits``
+        (separate private channels); this helper charges exactly that.
+        """
+        for j in range(num_players):
+            self.charge_downstream(j, bits, label)
+
+    def begin_round(self) -> None:
+        """Mark the start of one coordinator-model communication round."""
+        self._rounds += 1
+
+    # ------------------------------------------------------------------
+    # Labelled scopes (attribute costs to sub-procedures)
+    # ------------------------------------------------------------------
+    class _LabelScope:
+        def __init__(self, ledger: "CommunicationLedger", label: str) -> None:
+            self._ledger = ledger
+            self._label = label
+
+        def __enter__(self) -> "CommunicationLedger":
+            self._ledger._label_stack.append(self._label)
+            return self._ledger
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._ledger._label_stack.pop()
+
+    def scope(self, label: str) -> "CommunicationLedger._LabelScope":
+        """Context manager attributing contained messages to ``label``."""
+        return CommunicationLedger._LabelScope(self, label)
+
+    def _current_label(self) -> str:
+        return self._label_stack[-1] if self._label_stack else ""
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        return sum(record.bits for record in self._records)
+
+    @property
+    def upstream_bits(self) -> int:
+        return sum(r.bits for r in self._records if r.receiver == COORDINATOR)
+
+    @property
+    def downstream_bits(self) -> int:
+        return sum(r.bits for r in self._records if r.sender == COORDINATOR)
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    @property
+    def records(self) -> tuple[MessageRecord, ...]:
+        return tuple(self._records)
+
+    def player_bits(self, player: int) -> int:
+        """Bits sent *by* ``player`` (upstream only)."""
+        return sum(
+            r.bits for r in self._records
+            if r.sender == player and r.receiver == COORDINATOR
+        )
+
+    def summary(self) -> CostSummary:
+        by_label: Counter[str] = Counter()
+        by_player: Counter[int] = Counter()
+        for record in self._records:
+            by_label[record.label or "(unlabelled)"] += record.bits
+            if record.sender != COORDINATOR:
+                by_player[record.sender] += record.bits
+        return CostSummary(
+            total_bits=self.total_bits,
+            upstream_bits=self.upstream_bits,
+            downstream_bits=self.downstream_bits,
+            rounds=self._rounds,
+            messages=len(self._records),
+            bits_by_label=dict(by_label),
+            bits_by_player=dict(by_player),
+        )

@@ -1,0 +1,98 @@
+"""Newman's theorem, executable (Section 2's private-coin remark).
+
+The paper assumes shared randomness and notes that multi-round protocols
+can trade it for private randomness at a cost of O(k log n) extra bits via
+Newman's theorem [32]: fix, *at protocol-design time*, a small pool of
+t = O(log(1/δ') / γ²) random seeds; on each run one player samples a pool
+index privately and announces it (⌈log₂ t⌉ bits, broadcast to everyone via
+the coordinator for O(k log t) total); the parties then run the public-coin
+protocol with the chosen pool seed.  By a Chernoff/union argument over the
+input space, a random pool inflates the worst-case error by at most γ with
+high probability.
+
+This module implements the transformation generically and provides
+:func:`estimate_pool_error` so tests can verify the error claim on concrete
+protocols and input families, rather than taking the theorem on faith.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.comm.encoding import bits_for_universe
+
+__all__ = ["NewmanPool", "build_pool", "pool_size", "estimate_pool_error"]
+
+ProtocolRun = Callable[[object, int], bool]
+"""(input, seed) -> did the protocol answer correctly."""
+
+
+def pool_size(gamma: float, delta_prime: float) -> int:
+    """t = ceil(2 ln(2/δ') / γ²): seeds needed for error inflation γ."""
+    if not 0.0 < gamma < 1.0:
+        raise ValueError(f"gamma must be in (0,1), got {gamma}")
+    if not 0.0 < delta_prime < 1.0:
+        raise ValueError(f"delta' must be in (0,1), got {delta_prime}")
+    return max(1, math.ceil(2.0 * math.log(2.0 / delta_prime) / gamma ** 2))
+
+
+@dataclass(frozen=True)
+class NewmanPool:
+    """A fixed pool of public seeds plus the announcement cost."""
+
+    seeds: tuple[int, ...]
+    k: int
+
+    @property
+    def size(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def announcement_bits(self) -> int:
+        """Bits to announce the chosen index to all parties.
+
+        One player sends ⌈log₂ t⌉ bits to the coordinator, which forwards
+        to the other k-1 players: k·⌈log₂ t⌉ total.  With
+        t = poly(n, 1/γ) this is the O(k log n) of the paper's remark.
+        """
+        return self.k * bits_for_universe(self.size)
+
+    def choose(self, private_seed: int) -> int:
+        """The pool seed selected by one player's private randomness."""
+        index = random.Random(private_seed).randrange(self.size)
+        return self.seeds[index]
+
+
+def build_pool(k: int, gamma: float = 0.1, delta_prime: float = 0.05,
+               master_seed: int = 0) -> NewmanPool:
+    """Draw the seed pool (a design-time, input-independent step)."""
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    size = pool_size(gamma, delta_prime)
+    rng = random.Random(master_seed)
+    return NewmanPool(
+        seeds=tuple(rng.randrange(2 ** 62) for _ in range(size)),
+        k=k,
+    )
+
+
+def estimate_pool_error(pool: NewmanPool, run: ProtocolRun,
+                        inputs: Sequence[object]) -> float:
+    """Worst-case (over the given inputs) average error over the pool.
+
+    Newman's theorem promises this exceeds the true public-coin error by
+    at most γ with probability 1-δ' over the pool draw; tests check it on
+    real protocols and input families.
+    """
+    if not inputs:
+        raise ValueError("need at least one input to evaluate")
+    worst = 0.0
+    for instance in inputs:
+        errors = sum(
+            0 if run(instance, seed) else 1 for seed in pool.seeds
+        )
+        worst = max(worst, errors / pool.size)
+    return worst

@@ -1,0 +1,117 @@
+"""Extended one-way model runtime (Section 4.2.2).
+
+Three players: Alice and Bob exchange messages back and forth for as many
+rounds as they like; Charlie observes their transcript but sends nothing;
+finally Charlie outputs an answer (in the paper, an edge of his own input).
+The lower bound Theorem 4.7 charges only the Alice/Bob transcript, and so
+does this runtime.
+
+The runtime is also the vehicle for the streaming connection: a one-way
+chain protocol (Alice -> Bob -> Charlie, each forwarding a bounded-size
+state) is a special case, and :mod:`repro.streaming.reduction` converts
+streaming algorithms into exactly that shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
+
+from repro.comm.ledger import CommunicationLedger
+from repro.comm.players import Player
+from repro.comm.randomness import SharedRandomness
+
+__all__ = ["OneWayTranscript", "OneWayRun", "run_oneway_chain", "run_extended_oneway"]
+
+StateT = TypeVar("StateT")
+OutputT = TypeVar("OutputT")
+
+
+@dataclass
+class OneWayTranscript:
+    """The Alice/Bob exchange as Charlie sees it."""
+
+    messages: list[tuple[int, object, int]] = field(default_factory=list)
+    """(sender, payload, bits) triples in order."""
+
+    def append(self, sender: int, payload: object, bits: int) -> None:
+        self.messages.append((sender, payload, bits))
+
+    @property
+    def total_bits(self) -> int:
+        return sum(bits for _, _, bits in self.messages)
+
+    def payloads(self) -> list[object]:
+        return [payload for _, payload, _ in self.messages]
+
+
+@dataclass
+class OneWayRun(Generic[OutputT]):
+    output: OutputT
+    transcript: OneWayTranscript
+    ledger: CommunicationLedger
+
+    @property
+    def total_bits(self) -> int:
+        return self.transcript.total_bits
+
+
+def run_extended_oneway(
+    alice: Player,
+    bob: Player,
+    charlie: Player,
+    conversation: Callable[
+        [Player, Player, SharedRandomness, OneWayTranscript], None
+    ],
+    charlie_output: Callable[
+        [Player, OneWayTranscript, SharedRandomness], OutputT
+    ],
+    shared: SharedRandomness | None = None,
+) -> OneWayRun[OutputT]:
+    """Run one extended one-way protocol.
+
+    ``conversation`` drives the Alice/Bob exchange, appending each message
+    (with its bit cost) to the transcript; ``charlie_output`` then computes
+    Charlie's answer from his private input and the observed transcript.
+    Only transcript bits are charged, matching Theorem 4.7's accounting.
+    """
+    shared = shared if shared is not None else SharedRandomness()
+    ledger = CommunicationLedger()
+    transcript = OneWayTranscript()
+    conversation(alice, bob, shared, transcript)
+    for sender, _, bits in transcript.messages:
+        ledger.begin_round()
+        ledger.charge_upstream(sender, bits, "oneway")
+    output = charlie_output(charlie, transcript, shared)
+    return OneWayRun(output=output, transcript=transcript, ledger=ledger)
+
+
+def run_oneway_chain(
+    players: list[Player],
+    initial_state: StateT,
+    step: Callable[[Player, StateT, SharedRandomness], StateT],
+    state_bits: Callable[[StateT], int],
+    finalize: Callable[[Player, StateT, SharedRandomness], OutputT],
+    shared: SharedRandomness | None = None,
+) -> OneWayRun[OutputT]:
+    """Chain one-way protocol: P1 -> P2 -> ... -> Pk, last player outputs.
+
+    Each player updates a forwarded state from its own input; the state's
+    size is charged at every hop.  This is the streaming-reduction shape
+    ([4]): a space-s streaming algorithm yields a chain protocol forwarding
+    s bits per hop.
+    """
+    if len(players) < 2:
+        raise ValueError("a chain needs at least two players")
+    shared = shared if shared is not None else SharedRandomness()
+    ledger = CommunicationLedger()
+    transcript = OneWayTranscript()
+    state = initial_state
+    for player in players[:-1]:
+        state = step(player, state, shared)
+        bits = state_bits(state)
+        transcript.append(player.player_id, state, bits)
+        ledger.begin_round()
+        ledger.charge_upstream(player.player_id, bits, "oneway-chain")
+    output = finalize(players[-1], state, shared)
+    return OneWayRun(output=output, transcript=transcript, ledger=ledger)

@@ -1,0 +1,265 @@
+"""Players: strictly-local computation over a private edge view.
+
+A :class:`Player` wraps one player's input ``E_j`` and exposes exactly the
+local computations the paper's protocols perform "for free" (computation on
+one's own input costs nothing; only communication is charged).  Protocol
+code must route every piece of information that leaves a player through the
+model runtimes, which charge the ledger — the Player API deliberately never
+reveals anything about other players or the ground-truth graph.
+
+The methods mirror the local steps of Sections 3.1, 3.3 and 3.4:
+
+* degree bookkeeping (``local_degree``, ``degree_msb_index``, ``B~_i^j``),
+* permutation-ranked minima (Algorithm 1's unbiased sampling trick),
+* edge harvesting against publicly sampled vertex sets (Algorithms 4, 7-10),
+* the closing-edge check that finishes the unrestricted protocol
+  ("each player examines its own input ... for an edge that closes a
+  triangle together with some vee").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.graphs.buckets import degrees_from_view, player_suspected_bucket
+from repro.graphs.graph import Edge, canonical_edge
+
+__all__ = ["Player", "make_players"]
+
+
+class Player:
+    """One player of a number-in-hand protocol.
+
+    Parameters
+    ----------
+    player_id:
+        Index in ``0 .. k-1``.
+    n:
+        Number of vertices of the (publicly known) vertex universe.
+    edges:
+        The player's private edge view ``E_j``.
+    """
+
+    def __init__(self, player_id: int, n: int, edges: Iterable[Edge]) -> None:
+        self.player_id = player_id
+        self.n = n
+        self._edges: frozenset[Edge] = frozenset(
+            canonical_edge(u, v) for u, v in edges
+        )
+        self._adjacency: dict[int, set[int]] = {}
+        for u, v in self._edges:
+            self._adjacency.setdefault(u, set()).add(v)
+            self._adjacency.setdefault(v, set()).add(u)
+        self._degrees = degrees_from_view(self._edges)
+
+    # ------------------------------------------------------------------
+    # Introspection (local, free)
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> frozenset[Edge]:
+        return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        return canonical_edge(u, v) in self._edges
+
+    def local_degree(self, v: int) -> int:
+        """d_j(v): degree of v in this player's view."""
+        return self._degrees.get(v, 0)
+
+    def local_neighbors(self, v: int) -> frozenset[int]:
+        return frozenset(self._adjacency.get(v, ()))
+
+    def average_local_degree(self) -> float:
+        """d-bar_j = 2|E_j| / n, the §3.4.3 per-player density estimate."""
+        if self.n == 0:
+            return 0.0
+        return 2.0 * len(self._edges) / self.n
+
+    def degree_msb_index(self, v: int) -> int | None:
+        """Index of the most significant bit of d_j(v); None if d_j(v)=0.
+
+        Phase one of Theorem 3.1: each player reports only the MSB index,
+        costing O(log log d) bits.
+        """
+        degree = self.local_degree(v)
+        if degree == 0:
+            return None
+        return degree.bit_length() - 1
+
+    def suspected_bucket(self, index: int, k: int) -> set[int]:
+        """B~_i^j: vertices with 3^i / k <= d_j(v) <= 3^(i+1)."""
+        return player_suspected_bucket(self._degrees, index, k)
+
+    # ------------------------------------------------------------------
+    # Permutation-ranked minima (Algorithm 1 and the §3.1 primitives)
+    # ------------------------------------------------------------------
+    def first_vertex_under_rank(self, candidates: Iterable[int],
+                                rank: Callable[[int], tuple]) -> int | None:
+        """Lowest-ranked vertex among ``candidates`` (public order).
+
+        Because every player evaluates the same public rank, the minimum
+        over all players' minima is the global minimum — an unbiased,
+        duplication-immune uniform sample.
+        """
+        best: int | None = None
+        best_rank: tuple | None = None
+        for v in candidates:
+            r = rank(v)
+            if best_rank is None or r < best_rank:
+                best, best_rank = v, r
+        return best
+
+    def first_incident_edge_under_rank(self, v: int,
+                                       rank: Callable[[int], tuple]
+                                       ) -> Edge | None:
+        """Lowest-ranked edge of E_j incident to v, ranking by far endpoint.
+
+        Primitive "choose a uniformly random edge adjacent to v" (§3.1):
+        the public rank orders the n-1 potential incident edges; the
+        coordinator then takes the global minimum over players' minima.
+        """
+        best_neighbor = self.first_vertex_under_rank(
+            self._adjacency.get(v, ()), rank
+        )
+        if best_neighbor is None:
+            return None
+        return canonical_edge(v, best_neighbor)
+
+    def first_edge_under_rank(self, rank: Callable[[Edge], tuple]
+                              ) -> Edge | None:
+        """Lowest-ranked edge of E_j under a public order on edges."""
+        best: Edge | None = None
+        best_rank: tuple | None = None
+        for edge in self._edges:
+            r = rank(edge)
+            if best_rank is None or r < best_rank:
+                best, best_rank = edge, r
+        return best
+
+    # ------------------------------------------------------------------
+    # Edge harvesting against public vertex samples
+    # ------------------------------------------------------------------
+    def edges_at_vertex_in_sample(self, v: int, sample: set[int]
+                                  ) -> set[Edge]:
+        """E_j ∩ ({v} × S): Algorithm 4's per-vertex edge sample."""
+        return {
+            canonical_edge(v, u)
+            for u in self._adjacency.get(v, ())
+            if u in sample
+        }
+
+    def edges_within(self, sample: set[int]) -> set[Edge]:
+        """E_j ∩ S²: the induced-subgraph harvest of Algorithms 7 and 9."""
+        found: set[Edge] = set()
+        for u, v in self._edges:
+            if u in sample and v in sample:
+                found.add((u, v))
+        return found
+
+    def edges_touching_both(self, r_sample: set[int], rs_sample: set[int]
+                            ) -> set[Edge]:
+        """Edges with one endpoint in R and the other in R ∪ S (Alg 8/10)."""
+        found: set[Edge] = set()
+        for u, v in self._edges:
+            if (u in r_sample and v in rs_sample) or (
+                v in r_sample and u in rs_sample
+            ):
+                found.add((u, v))
+        return found
+
+    def sample_hits_vertex(self, v: int, sample: set[int]) -> bool:
+        """Is S ∩ (edges of E_j at v) non-empty?  One Theorem 3.1 experiment.
+
+        ``sample`` is a public set of *potential neighbours* of v; the
+        player answers with a single bit.
+        """
+        neighbours = self._adjacency.get(v)
+        if not neighbours:
+            return False
+        if len(sample) < len(neighbours):
+            return any(u in neighbours for u in sample)
+        return any(u in sample for u in neighbours)
+
+    def any_incident_neighbor_in(self, v: int,
+                                 pred: Callable[[int], bool]) -> bool:
+        """Does any local neighbour of v satisfy the public predicate?
+
+        The lazy-predicate form of :meth:`sample_hits_vertex`: one
+        Theorem 3.1 experiment, evaluated in O(d_j(v)) local time.
+        """
+        return any(pred(u) for u in self._adjacency.get(v, ()))
+
+    def any_edge_index_in(self, edge_index: Callable[[Edge], int],
+                          pred: Callable[[int], bool]) -> bool:
+        """Does any local edge's public index satisfy the predicate?
+
+        Used by the distinct-elements / |E|-estimation generalization of
+        Theorem 3.1 ("this approximation procedure can be applied to any
+        subset of vertex pairs, including estimating the total number of
+        edges in the graph").
+        """
+        return any(pred(edge_index(edge)) for edge in self._edges)
+
+    # ------------------------------------------------------------------
+    # Triangle closing
+    # ------------------------------------------------------------------
+    def find_closing_edge(self, vees: Iterable[tuple[Edge, Edge]]
+                          ) -> tuple[Edge, Edge, Edge] | None:
+        """Check the local input for an edge closing any posted vee.
+
+        Returns (vee edge 1, vee edge 2, closing edge) or None.  This is
+        the final interactive round of the unrestricted protocol: the
+        coordinator posted candidate vees, each player scans its own input.
+        """
+        for e1, e2 in vees:
+            shared = set(e1) & set(e2)
+            if len(shared) != 1:
+                continue
+            (u,) = set(e1) - shared
+            (w,) = set(e2) - shared
+            if self.has_edge(u, w):
+                return (e1, e2, canonical_edge(u, w))
+        return None
+
+    def find_closing_edge_for_pairs(self, edges: Sequence[Edge]
+                                    ) -> tuple[Edge, Edge, Edge] | None:
+        """Scan all vee-shaped pairs among ``edges`` for a local closer.
+
+        Convenience for protocols that post a bag of edges rather than
+        explicit vees; quadratic in len(edges), used only on small bags.
+        """
+        adjacency: dict[int, set[int]] = {}
+        for u, v in edges:
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+        for source, neighbours in adjacency.items():
+            ordered = sorted(neighbours)
+            for i, u in enumerate(ordered):
+                for w in ordered[i + 1:]:
+                    if self.has_edge(u, w):
+                        return (
+                            canonical_edge(source, u),
+                            canonical_edge(source, w),
+                            canonical_edge(u, w),
+                        )
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Player(id={self.player_id}, n={self.n}, "
+            f"|E_j|={len(self._edges)})"
+        )
+
+
+def make_players(partition) -> list[Player]:
+    """Build the k Player objects of an :class:`EdgePartition`."""
+    n = partition.graph.n
+    return [
+        Player(j, n, view) for j, view in enumerate(partition.views)
+    ]

@@ -1,0 +1,188 @@
+"""Shared (public) randomness for multiparty protocols.
+
+The paper assumes the players and coordinator share a public random string:
+sampling decisions are made by "interpreting the public bits" and cost zero
+communication.  :class:`SharedRandomness` models that string as a seeded PRNG
+that every party holds a reference to.  All sampling primitives the protocols
+need — permutations over the vertex set, Bernoulli vertex samples, ranked
+orders over potential edges — live here so that players provably agree on
+them without exchanging bits.
+
+Determinism contract: two ``SharedRandomness`` instances created with the
+same seed produce identical sample sequences, which is what makes protocol
+runs reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+__all__ = ["SharedRandomness"]
+
+# A large prime used to build per-call independent sub-streams from
+# (seed, tag) pairs without materializing n! permutations.
+_MIX_PRIME = 0x9E3779B97F4A7C15
+
+
+class SharedRandomness:
+    """Public-coin source shared by all parties of a protocol.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the public random string.  Protocol executions with equal
+        seeds are bitwise identical.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._draws = 0
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def fork(self, tag: int) -> "SharedRandomness":
+        """An independent public sub-stream labelled by ``tag``.
+
+        Used when conceptually parallel sub-protocols (e.g. the ``O(log k)``
+        simultaneous instances of Algorithm 11) must each see their own
+        fresh public coins, agreed on by all players.
+        """
+        return SharedRandomness((self._seed * _MIX_PRIME + tag) & (2**63 - 1))
+
+    # ------------------------------------------------------------------
+    # Basic draws
+    # ------------------------------------------------------------------
+    def random(self) -> float:
+        self._draws += 1
+        return self._rng.random()
+
+    def randrange(self, upper: int) -> int:
+        self._draws += 1
+        return self._rng.randrange(upper)
+
+    def choice(self, items: Sequence[int]) -> int:
+        self._draws += 1
+        return self._rng.choice(items)
+
+    # ------------------------------------------------------------------
+    # Protocol-level primitives
+    # ------------------------------------------------------------------
+    def permutation_rank(self, universe_size: int, tag: int = 0):
+        """A uniformly random total order over ``range(universe_size)``.
+
+        Returns a callable ``rank(item) -> float`` such that comparing ranks
+        realizes a uniformly random permutation (ties have probability zero
+        for practical purposes, and are broken by item id for determinism).
+        Every player evaluates the *same* function, so "the first element of
+        my set under the public permutation" is consistent across players —
+        exactly the trick Algorithm 1 (SampleUniformFromB~i) relies on.
+
+        A lazy hash-based construction is used instead of materializing the
+        permutation, so ranking a handful of elements of a huge universe is
+        cheap.
+        """
+        base = (self._seed * _MIX_PRIME + (tag << 17) + self._next_nonce()) & (
+            2**63 - 1
+        )
+
+        def rank(item: int) -> tuple[float, int]:
+            if not 0 <= item < universe_size:
+                raise ValueError(
+                    f"item {item} outside universe of size {universe_size}"
+                )
+            local = random.Random((base * _MIX_PRIME + item) & (2**63 - 1))
+            return (local.random(), item)
+
+        return rank
+
+    def bernoulli_subset(self, universe_size: int, probability: float,
+                         tag: int = 0) -> set[int]:
+        """Include each of ``range(universe_size)`` independently w.p. ``p``.
+
+        This is the public-coin "jointly generate a random set S ⊆ V" step
+        used throughout Section 3.  All parties calling this with the same
+        tag and draw order obtain the same set.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self._draws += 1
+        local = random.Random(
+            (self._seed * _MIX_PRIME + (tag << 21) + self._next_nonce())
+            & (2**63 - 1)
+        )
+        if probability == 0.0:
+            return set()
+        if probability == 1.0:
+            return set(range(universe_size))
+        # Geometric skipping: expected work O(p * universe_size).
+        selected: set[int] = set()
+        index = -1
+        import math
+        log_q = math.log1p(-probability)
+        while True:
+            gap = int(math.log(max(local.random(), 1e-300)) / log_q) + 1
+            index += gap
+            if index >= universe_size:
+                return selected
+            selected.add(index)
+
+    def bernoulli_predicate(self, probability: float, tag: int = 0):
+        """A public iid-Bernoulli(p) membership predicate over the integers.
+
+        Returns ``pred(item) -> bool`` deciding whether ``item`` belongs to
+        the public random sample, *without* materializing the sample.  All
+        parties evaluating the predicate agree, so a player can check only
+        the elements it cares about (e.g. its own incident edges in the
+        Theorem 3.1 degree-approximation experiments) in time proportional
+        to its own input — the trick that keeps public sampling free.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        base = (self._seed * _MIX_PRIME + (tag << 19) + self._next_nonce()) & (
+            2**63 - 1
+        )
+
+        def pred(item: int) -> bool:
+            local = random.Random((base * _MIX_PRIME + item) & (2**63 - 1))
+            return local.random() < probability
+
+        return pred
+
+    def sample_without_replacement(self, universe_size: int, count: int,
+                                   tag: int = 0) -> list[int]:
+        """A uniformly random ``count``-subset of ``range(universe_size)``.
+
+        Used by Algorithm 7 ("a uniformly random set of vertices of size
+        |S|").  ``count`` is clamped to the universe size — at reproduction
+        scales the paper's sample-size formulas routinely exceed n, which
+        simply means "take everything".
+        """
+        count = min(count, universe_size)
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._draws += 1
+        local = random.Random(
+            (self._seed * _MIX_PRIME + (tag << 13) + self._next_nonce())
+            & (2**63 - 1)
+        )
+        return local.sample(range(universe_size), count)
+
+    def shuffled(self, items: Iterable[int], tag: int = 0) -> list[int]:
+        """A uniformly random ordering of ``items`` (public)."""
+        self._draws += 1
+        local = random.Random(
+            (self._seed * _MIX_PRIME + (tag << 9) + self._next_nonce())
+            & (2**63 - 1)
+        )
+        result = list(items)
+        local.shuffle(result)
+        return result
+
+    def _next_nonce(self) -> int:
+        # Advance the main stream so successive primitive calls are
+        # independent while remaining reproducible.
+        return self._rng.getrandbits(48)

@@ -1,0 +1,75 @@
+"""Simultaneous-model runtime (Section 2, "Simultaneous Communication").
+
+Each player sees its input and the public randomness, sends *one* message to
+the referee, and the referee outputs the answer.  No player ever observes
+another player's message — the runtime enforces this by evaluating the
+per-player message function independently and handing the referee only the
+collected messages.
+
+This is the communication-complexity analogue of an oblivious property
+tester, and it is the model of Algorithms 7-11 and of the Section 4.2.3
+lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.comm.ledger import CommunicationLedger
+from repro.comm.players import Player
+from repro.comm.randomness import SharedRandomness
+
+__all__ = ["SimultaneousRun", "run_simultaneous"]
+
+MessageT = TypeVar("MessageT")
+OutputT = TypeVar("OutputT")
+
+
+@dataclass
+class SimultaneousRun(Generic[MessageT, OutputT]):
+    """Outcome of one simultaneous protocol execution."""
+
+    output: OutputT
+    messages: list[MessageT]
+    ledger: CommunicationLedger
+
+    @property
+    def total_bits(self) -> int:
+        return self.ledger.total_bits
+
+    def max_message_bits(self) -> int:
+        """Largest single player message (per-player budget checks)."""
+        return max(
+            (self.ledger.player_bits(j) for j in range(len(self.messages))),
+            default=0,
+        )
+
+
+def run_simultaneous(
+    players: Sequence[Player],
+    message_fn: Callable[[Player, SharedRandomness], MessageT],
+    message_bits: Callable[[MessageT], int],
+    referee_fn: Callable[[list[MessageT], SharedRandomness], OutputT],
+    shared: SharedRandomness | None = None,
+    label: str = "simultaneous",
+) -> SimultaneousRun[MessageT, OutputT]:
+    """Execute one simultaneous protocol.
+
+    ``message_fn(player, shared)`` computes a player's single message from
+    its private input and the public coins; ``message_bits`` prices it;
+    ``referee_fn(messages, shared)`` produces the output.  The ledger
+    records one round and one upstream message per player.
+    """
+    if not players:
+        raise ValueError("a protocol needs at least one player")
+    shared = shared if shared is not None else SharedRandomness()
+    ledger = CommunicationLedger()
+    ledger.begin_round()
+    messages: list[MessageT] = []
+    for player in players:
+        message = message_fn(player, shared)
+        messages.append(message)
+        ledger.charge_upstream(player.player_id, message_bits(message), label)
+    output = referee_fn(messages, shared)
+    return SimultaneousRun(output=output, messages=messages, ledger=ledger)

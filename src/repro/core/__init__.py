@@ -1,0 +1,138 @@
+"""The paper's contribution: triangle-freeness testing protocols.
+
+Public API:
+
+* :func:`find_triangle_unrestricted` — Section 3.3, O~(k (nd)^{1/4} + k²);
+* :func:`find_triangle_sim_high` — Algorithm 7/9, O~(k (nd)^{1/3});
+* :func:`find_triangle_sim_low` — Algorithm 8/10, O~(k sqrt(n));
+* :func:`find_triangle_sim_oblivious` — Algorithm 11, degree-oblivious;
+* :func:`exact_triangle_detection` — the Ω(k n d) exact baseline;
+* :func:`test_triangle_freeness` — the property-testing wrapper.
+
+All testers have one-sided error: a reported triangle always exists.
+"""
+
+from repro.core.amplification import amplify, rounds_for_target
+from repro.core.building_blocks import (
+    bfs_tree,
+    collect_induced_subgraph,
+    collect_neighbors,
+    edge_index,
+    query_edge,
+    random_edge,
+    random_incident_edge,
+    random_walk,
+)
+from repro.core.degree_approx import (
+    DegreeApproxParams,
+    DegreeEstimate,
+    approx_average_degree,
+    approx_degree,
+    approx_degree_no_duplication,
+    approx_distinct_edges,
+)
+from repro.core.exact_baseline import (
+    exact_triangle_detection,
+    exact_triangle_detection_blackboard,
+)
+from repro.core.oblivious import ObliviousParams, find_triangle_sim_oblivious
+from repro.core.results import DetectionResult, Triangle
+from repro.core.subgraph_detection import (
+    FIVE_CYCLE,
+    FOUR_CLIQUE,
+    FOUR_CYCLE,
+    SubgraphDetectionResult,
+    SubgraphParams,
+    SubgraphPattern,
+    find_copy_among,
+    find_subgraph_simultaneous,
+    planted_disjoint_subgraphs,
+)
+from repro.core.simultaneous_high import SimHighParams, find_triangle_sim_high
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+from repro.core.unrestricted import (
+    UnrestrictedParams,
+    find_triangle_unrestricted,
+)
+from repro.graphs.partition import EdgePartition
+
+__all__ = [
+    "amplify",
+    "rounds_for_target",
+    "FIVE_CYCLE",
+    "FOUR_CLIQUE",
+    "FOUR_CYCLE",
+    "SubgraphDetectionResult",
+    "SubgraphParams",
+    "SubgraphPattern",
+    "find_copy_among",
+    "find_subgraph_simultaneous",
+    "planted_disjoint_subgraphs",
+    "DetectionResult",
+    "Triangle",
+    "DegreeApproxParams",
+    "DegreeEstimate",
+    "approx_average_degree",
+    "approx_degree",
+    "approx_degree_no_duplication",
+    "approx_distinct_edges",
+    "bfs_tree",
+    "collect_induced_subgraph",
+    "collect_neighbors",
+    "edge_index",
+    "query_edge",
+    "random_edge",
+    "random_incident_edge",
+    "random_walk",
+    "exact_triangle_detection",
+    "exact_triangle_detection_blackboard",
+    "ObliviousParams",
+    "find_triangle_sim_oblivious",
+    "SimHighParams",
+    "find_triangle_sim_high",
+    "SimLowParams",
+    "find_triangle_sim_low",
+    "UnrestrictedParams",
+    "find_triangle_unrestricted",
+    "check_triangle_freeness",
+]
+
+
+def check_triangle_freeness(partition: EdgePartition, protocol: str = "auto",
+                           seed: int = 0, **protocol_kwargs) -> bool:
+    """Property-testing verdict: True = "looks triangle-free".
+
+    ``protocol`` selects the tester: ``"unrestricted"``, ``"sim-high"``,
+    ``"sim-low"``, ``"sim-oblivious"``, ``"exact"``, or ``"auto"`` (the
+    degree regime picks between sim-low and sim-high, matching the paper's
+    Table 1 columns).  Extra keyword arguments become the protocol's params
+    object fields.
+
+    One-sided: a False verdict is always correct (a triangle was exhibited);
+    a True verdict errs with the protocol's delta on epsilon-far inputs.
+    """
+    import math
+
+    if protocol == "auto":
+        d = partition.graph.average_degree()
+        protocol = (
+            "sim-high" if d >= math.sqrt(max(1, partition.graph.n))
+            else "sim-low"
+        )
+    if protocol == "unrestricted":
+        params = UnrestrictedParams(**protocol_kwargs) if protocol_kwargs else None
+        result = find_triangle_unrestricted(partition, params, seed=seed)
+    elif protocol == "sim-high":
+        params = SimHighParams(**protocol_kwargs) if protocol_kwargs else None
+        result = find_triangle_sim_high(partition, params, seed=seed)
+    elif protocol == "sim-low":
+        params = SimLowParams(**protocol_kwargs) if protocol_kwargs else None
+        result = find_triangle_sim_low(partition, params, seed=seed)
+    elif protocol == "sim-oblivious":
+        params = ObliviousParams(**protocol_kwargs) if protocol_kwargs else None
+        result = find_triangle_sim_oblivious(partition, params, seed=seed)
+    elif protocol == "exact":
+        result = exact_triangle_detection(partition)
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    return result.verdict_triangle_free()

@@ -1,0 +1,93 @@
+"""Error amplification for one-sided testers.
+
+Every protocol in this library has one-sided error: it never reports a
+triangle on a triangle-free input, and misses an ε-far input with
+probability at most δ.  Independent repetition with fresh public coins
+therefore drives the miss probability to δ^r while preserving soundness —
+the referee simply ORs the outcomes and keeps the first witness.
+
+:func:`amplify` wraps any protocol runner; :func:`rounds_for_target`
+computes the repetition count a target failure probability needs.  The
+amplified run's cost is the sum of the rounds' costs (each round is a full
+protocol execution; for simultaneous protocols the rounds can ride in one
+combined message, which is how Algorithm 11 batches its instances — the
+accounting is identical).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.comm.ledger import CommunicationLedger
+from repro.core.results import DetectionResult
+from repro.graphs.partition import EdgePartition
+
+__all__ = ["rounds_for_target", "amplify"]
+
+ProtocolFn = Callable[[EdgePartition, int], DetectionResult]
+
+
+def rounds_for_target(single_round_delta: float, target_delta: float) -> int:
+    """Smallest r with delta^r <= target (one-sided OR-amplification)."""
+    if not 0.0 < single_round_delta < 1.0:
+        raise ValueError(
+            f"single-round delta must be in (0,1), got {single_round_delta}"
+        )
+    if not 0.0 < target_delta < 1.0:
+        raise ValueError(
+            f"target delta must be in (0,1), got {target_delta}"
+        )
+    if target_delta >= single_round_delta:
+        return 1
+    return math.ceil(
+        math.log(target_delta) / math.log(single_round_delta)
+    )
+
+
+def amplify(protocol: ProtocolFn, partition: EdgePartition, rounds: int,
+            seed: int = 0, stop_early: bool = True) -> DetectionResult:
+    """Run ``protocol`` up to ``rounds`` times with fresh coins, OR results.
+
+    ``stop_early`` returns on the first witness (cheaper in expectation);
+    with ``stop_early=False`` all rounds run regardless, modelling the
+    simultaneous batch where messages are sent before outcomes are known.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    ledger = CommunicationLedger()
+    witness: DetectionResult | None = None
+    executed = 0
+    for round_index in range(rounds):
+        result = protocol(partition, seed + 7907 * round_index)
+        executed += 1
+        # Fold the round's cost into the combined ledger.
+        for player, bits in result.cost.bits_by_player.items():
+            ledger.charge_upstream(player, bits, f"round-{round_index}")
+        downstream = result.cost.downstream_bits
+        if downstream:
+            ledger.charge_downstream(0, downstream, f"round-{round_index}")
+        if result.found and witness is None:
+            witness = result
+            if stop_early:
+                break
+    if witness is not None:
+        return DetectionResult(
+            found=True,
+            triangle=witness.triangle,
+            witness_edges=witness.witness_edges,
+            cost=ledger.summary(),
+            details={
+                "amplified_rounds": executed,
+                "requested_rounds": rounds,
+            },
+        )
+    return DetectionResult(
+        found=False,
+        triangle=None,
+        cost=ledger.summary(),
+        details={
+            "amplified_rounds": executed,
+            "requested_rounds": rounds,
+        },
+    )

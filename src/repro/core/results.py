@@ -1,0 +1,59 @@
+"""Shared result types for the triangle-detection protocols.
+
+Every protocol in this package solves *triangle detection with one-sided
+error*: if it reports a triangle, the triangle exists in the input graph
+with certainty (the protocols only ever assemble edges that players hold).
+Testing triangle-freeness follows: answer "far" iff a triangle was found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.ledger import CostSummary
+from repro.graphs.graph import Edge
+
+__all__ = ["Triangle", "DetectionResult"]
+
+Triangle = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of one protocol execution.
+
+    Attributes
+    ----------
+    found:
+        Whether a triangle was detected.  One-sided: True implies the
+        triangle genuinely exists; False on an epsilon-far input is the
+        (boundable) error event.
+    triangle:
+        The detected triangle's vertices, ascending, or None.
+    witness_edges:
+        The three edges of the detected triangle, if any.
+    cost:
+        Communication accounting of the run.
+    details:
+        Protocol-specific diagnostics (bucket reached, samples drawn, ...).
+    """
+
+    found: bool
+    triangle: Triangle | None
+    cost: CostSummary
+    witness_edges: tuple[Edge, ...] = ()
+    details: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.found and self.triangle is None:
+            raise ValueError("found=True requires a witness triangle")
+        if not self.found and self.triangle is not None:
+            raise ValueError("found=False must not carry a triangle")
+
+    @property
+    def total_bits(self) -> int:
+        return self.cost.total_bits
+
+    def verdict_triangle_free(self) -> bool:
+        """The property-testing answer: accept (triangle-free) iff no find."""
+        return not self.found

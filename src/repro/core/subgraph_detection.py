@@ -1,0 +1,276 @@
+"""H-freeness testing — the paper's stated future-work direction.
+
+Section 5 suggests "generalizing our techniques for detecting a wider
+class of subgraphs".  The induced-sample simultaneous tester (Algorithm 9)
+generalizes directly: if the input is ε-far from H-free it contains
+Ω(ε·n·d / e_H) edge-disjoint copies of H (each removal kills at most one
+disjoint copy), a public Bernoulli(p) vertex sample catches a fixed copy
+with probability p^{h}, and players send only the edges of their inputs
+inside the sample — the same existing-edges-only pricing that makes the
+triangle version cheaper than its query-model ancestor.
+
+Choosing ``p = c · (2 e_H / (ε n d))^{1/h}`` makes the expected number of
+caught disjoint copies c^h = Θ(1); the referee searches the unioned sample
+for a monomorphic copy of H.  For H = K₃ this specializes to Algorithm 9's
+parameters up to constants.
+
+This is an *extension*, not a paper result: no optimality is claimed, and
+the variance analysis that Theorem 3.26 does for triangles is replaced by
+repetition (the ``rounds`` parameter runs independent samples and ORs the
+one-sided outcomes).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.comm.encoding import edge_bits
+from repro.comm.players import Player, make_players
+from repro.comm.randomness import SharedRandomness
+from repro.comm.simultaneous import run_simultaneous
+from repro.graphs.graph import Edge, Graph
+from repro.graphs.partition import EdgePartition
+
+__all__ = [
+    "SubgraphPattern",
+    "TRIANGLE",
+    "FOUR_CLIQUE",
+    "FOUR_CYCLE",
+    "FIVE_CYCLE",
+    "SubgraphParams",
+    "find_copy_among",
+    "find_subgraph_simultaneous",
+    "SubgraphDetectionResult",
+    "planted_disjoint_subgraphs",
+    "PlantedSubgraphInstance",
+]
+
+
+@dataclass(frozen=True)
+class SubgraphPattern:
+    """A small pattern graph H on vertices 0 .. h-1."""
+
+    name: str
+    num_vertices: int
+    edges: tuple[Edge, ...]
+
+    def __post_init__(self) -> None:
+        for u, v in self.edges:
+            if u == v or not (0 <= u < self.num_vertices
+                              and 0 <= v < self.num_vertices):
+                raise ValueError(
+                    f"invalid pattern edge ({u}, {v}) for h={self.num_vertices}"
+                )
+        if self.num_vertices < 2 or not self.edges:
+            raise ValueError("pattern must have >= 2 vertices and an edge")
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def to_networkx(self):
+        import networkx as nx
+
+        pattern = nx.Graph()
+        pattern.add_nodes_from(range(self.num_vertices))
+        pattern.add_edges_from(self.edges)
+        return pattern
+
+
+TRIANGLE = SubgraphPattern("K3", 3, ((0, 1), (0, 2), (1, 2)))
+FOUR_CLIQUE = SubgraphPattern(
+    "K4", 4, ((0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3))
+)
+FOUR_CYCLE = SubgraphPattern("C4", 4, ((0, 1), (1, 2), (2, 3), (0, 3)))
+FIVE_CYCLE = SubgraphPattern(
+    "C5", 5, ((0, 1), (1, 2), (2, 3), (3, 4), (0, 4))
+)
+
+
+def find_copy_among(edges: Iterable[Edge], pattern: SubgraphPattern
+                    ) -> tuple[int, ...] | None:
+    """A monomorphic copy of H in a plain edge bag, or None.
+
+    Returns the image vertices in pattern-vertex order.  Uses networkx's
+    VF2 matcher; fine for the small samples referees actually see.
+    """
+    import networkx as nx
+    from networkx.algorithms import isomorphism
+
+    host = nx.Graph()
+    host.add_edges_from(edges)
+    if host.number_of_edges() < pattern.num_edges:
+        return None
+    matcher = isomorphism.GraphMatcher(host, pattern.to_networkx())
+    for mapping in matcher.subgraph_monomorphisms_iter():
+        inverse = {pattern_v: host_v for host_v, pattern_v in mapping.items()}
+        return tuple(inverse[i] for i in range(pattern.num_vertices))
+    return None
+
+
+@dataclass(frozen=True)
+class SubgraphParams:
+    """Knobs of the generalized induced-sample tester."""
+
+    epsilon: float = 0.2
+    c: float = 1.5
+    rounds: int = 3
+    """Independent sample repetitions (ORed; still one simultaneous shot —
+    all rounds ride in the same single message per player)."""
+    known_average_degree: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in (0,1], got {self.epsilon}")
+        if self.c <= 0 or self.rounds < 1:
+            raise ValueError("c must be positive and rounds >= 1")
+
+    def sample_probability(self, n: int, d: float,
+                           pattern: SubgraphPattern) -> float:
+        """p = c (2 e_H / (ε n d))^{1/h}: Θ(1) disjoint copies expected."""
+        if n == 0 or d <= 0:
+            return 1.0
+        base = 2.0 * pattern.num_edges / (self.epsilon * n * d)
+        return min(1.0, self.c * base ** (1.0 / pattern.num_vertices))
+
+
+@dataclass(frozen=True)
+class SubgraphDetectionResult:
+    """Outcome of one H-detection run (one-sided, like DetectionResult)."""
+
+    found: bool
+    copy: tuple[int, ...] | None
+    """Image of H's vertices (pattern order), or None."""
+    witness_edges: tuple[Edge, ...]
+    cost: object
+    details: dict
+
+    @property
+    def total_bits(self) -> int:
+        return self.cost.total_bits
+
+    def verdict_h_free(self) -> bool:
+        return not self.found
+
+
+def find_subgraph_simultaneous(
+    partition: EdgePartition,
+    pattern: SubgraphPattern,
+    params: SubgraphParams | None = None,
+    seed: int = 0,
+) -> SubgraphDetectionResult:
+    """One-shot simultaneous H-detection with one-sided error."""
+    params = params or SubgraphParams()
+    players = make_players(partition)
+    n = partition.graph.n
+    d = (
+        params.known_average_degree
+        if params.known_average_degree is not None
+        else partition.graph.average_degree()
+    )
+    shared = SharedRandomness(seed)
+    p = params.sample_probability(n, d, pattern)
+    samples = [
+        shared.bernoulli_subset(n, p, tag=100 + r)
+        for r in range(params.rounds)
+    ]
+
+    def message_fn(player: Player, _: SharedRandomness
+                   ) -> list[list[Edge]]:
+        return [sorted(player.edges_within(sample)) for sample in samples]
+
+    def message_bits(message: list[list[Edge]]) -> int:
+        return max(
+            1,
+            sum(len(edges) * edge_bits(n) for edges in message),
+        )
+
+    def referee_fn(messages: list[list[list[Edge]]],
+                   _: SharedRandomness):
+        for round_index in range(params.rounds):
+            union: set[Edge] = set()
+            for message in messages:
+                union.update(message[round_index])
+            copy = find_copy_among(union, pattern)
+            if copy is not None:
+                return copy, round_index
+        return None, None
+
+    run = run_simultaneous(
+        players, message_fn=message_fn, message_bits=message_bits,
+        referee_fn=referee_fn, shared=shared,
+        label=f"sim-{pattern.name}",
+    )
+    copy, winning_round = run.output
+    found = copy is not None
+    return SubgraphDetectionResult(
+        found=found,
+        copy=copy,
+        witness_edges=(
+            tuple(
+                tuple(sorted((copy[u], copy[v]))) for u, v in pattern.edges
+            )
+            if found
+            else ()
+        ),
+        cost=run.ledger.summary(),
+        details={
+            "pattern": pattern.name,
+            "sample_probability": p,
+            "rounds": params.rounds,
+            "winning_round": winning_round,
+        },
+    )
+
+
+@dataclass(frozen=True)
+class PlantedSubgraphInstance:
+    """An instance far from H-freeness by construction."""
+
+    graph: Graph
+    pattern: SubgraphPattern
+    planted_copies: tuple[tuple[int, ...], ...]
+    epsilon_certified: float
+
+
+def planted_disjoint_subgraphs(n: int, pattern: SubgraphPattern,
+                               copies: int, seed: int = 0,
+                               background_degree: float = 0.0
+                               ) -> PlantedSubgraphInstance:
+    """Plant vertex-disjoint copies of H (plus optional background).
+
+    Vertex-disjoint copies are edge-disjoint, so destroying all of them
+    requires >= ``copies`` edge removals: the instance is certifiably
+    ``copies / |E|``-far from H-freeness.
+    """
+    h = pattern.num_vertices
+    if copies * h > n:
+        raise ValueError(
+            f"cannot plant {copies} disjoint {pattern.name} copies on "
+            f"{n} vertices"
+        )
+    rng = random.Random(seed)
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    from repro.graphs.generators import gnd
+
+    graph = (
+        gnd(n, background_degree, seed=seed + 1)
+        if background_degree > 0
+        else Graph(n)
+    )
+    planted: list[tuple[int, ...]] = []
+    for index in range(copies):
+        image = tuple(vertices[index * h: (index + 1) * h])
+        for u, v in pattern.edges:
+            graph.add_edge(image[u], image[v])
+        planted.append(image)
+    return PlantedSubgraphInstance(
+        graph=graph,
+        pattern=pattern,
+        planted_copies=tuple(planted),
+        epsilon_certified=copies / max(1, graph.num_edges),
+    )

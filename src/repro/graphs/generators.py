@@ -1,0 +1,409 @@
+"""Workload generators.
+
+Every experiment in the paper is parameterized by (n, d, epsilon) plus a
+structural story about where the triangles live.  The generators here cover
+each story the paper tells:
+
+* ``gnp`` / ``gnd`` — plain random graphs (background noise, controls).
+* ``planted_disjoint_triangles`` — the canonical epsilon-far instance: a
+  packing of vertex-disjoint triangles planted by construction, optionally
+  padded with triangle-sparse background edges to dial the density and
+  epsilon independently.
+* ``skewed_hub_graph`` — the Section 3.3 hard case for naive sampling: a few
+  high-degree hubs are the sources of (almost) all triangle-vees, so a
+  uniformly random vertex is useless and bucketing is required.
+* ``tripartite_mu`` — the Section 4.2.1 lower-bound distribution µ: a
+  tripartite graph U ∪ V1 ∪ V2 with each cross-part edge present iid with
+  probability gamma/sqrt(n).
+* ``bipartite_triangle_free`` — triangle-free control of a given density.
+* ``embed_in_larger_graph`` — the Lemma 4.17 embedding: a dense hard core
+  plus isolated vertices, lowering the average degree without changing the
+  problem.
+
+All generators take an explicit ``seed`` and are deterministic given it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "gnp",
+    "gnd",
+    "planted_disjoint_triangles",
+    "planted_triangles_at_degree",
+    "disjoint_cliques",
+    "PlantedInstance",
+    "far_instance",
+    "skewed_hub_graph",
+    "tripartite_mu",
+    "TripartiteParts",
+    "mu_parts",
+    "bipartite_triangle_free",
+    "triangle_free_degree_spread",
+    "embed_in_larger_graph",
+]
+
+
+def gnp(n: int, p: float, seed: int = 0) -> Graph:
+    """Erdős–Rényi G(n, p)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0,1], got {p}")
+    rng = random.Random(seed)
+    graph = Graph(n)
+    if p == 0.0 or n < 2:
+        return graph
+    # Geometric skipping over the ordered pair list for speed.
+    log_q = math.log1p(-p) if p < 1.0 else None
+    total_pairs = n * (n - 1) // 2
+
+    def pair_from_index(index: int) -> tuple[int, int]:
+        # Unrank index -> (u, v), u < v, row-major over u.
+        u = 0
+        remaining = index
+        row = n - 1
+        while remaining >= row:
+            remaining -= row
+            u += 1
+            row -= 1
+        return u, u + 1 + remaining
+
+    if log_q is None:
+        for u in range(n):
+            for v in range(u + 1, n):
+                graph.add_edge(u, v)
+        return graph
+    index = -1
+    while True:
+        gap = int(math.log(max(rng.random(), 1e-300)) / log_q) + 1
+        index += gap
+        if index >= total_pairs:
+            return graph
+        graph.add_edge(*pair_from_index(index))
+
+
+def gnd(n: int, d: float, seed: int = 0) -> Graph:
+    """Random graph with expected average degree ``d``."""
+    if n < 2:
+        return Graph(n)
+    p = min(1.0, d / (n - 1))
+    return gnp(n, p, seed)
+
+
+@dataclass(frozen=True)
+class PlantedInstance:
+    """An epsilon-far-by-construction instance with its certificate."""
+
+    graph: Graph
+    planted_triangles: tuple[tuple[int, int, int], ...]
+    epsilon_certified: float
+    """Certified farness: planted disjoint triangles / |E|."""
+
+
+def planted_disjoint_triangles(n: int, num_triangles: int, seed: int = 0,
+                               background_degree: float = 0.0
+                               ) -> PlantedInstance:
+    """Plant ``num_triangles`` vertex-disjoint triangles, plus background.
+
+    The planted triangles are vertex-disjoint hence edge-disjoint, so the
+    instance is certifiably ``num_triangles / |E|``-far from triangle-free
+    regardless of what the background edges add (extra triangles only make
+    the graph farther).  ``background_degree`` adds a G(n, p) layer of that
+    expected average degree to dial d independently of epsilon.
+    """
+    if 3 * num_triangles > n:
+        raise ValueError(
+            f"cannot plant {num_triangles} vertex-disjoint triangles "
+            f"on {n} vertices"
+        )
+    rng = random.Random(seed)
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    graph = (
+        gnd(n, background_degree, seed=seed + 1)
+        if background_degree > 0
+        else Graph(n)
+    )
+    planted: list[tuple[int, int, int]] = []
+    for t in range(num_triangles):
+        a, b, c = sorted(vertices[3 * t: 3 * t + 3])
+        graph.add_edge(a, b)
+        graph.add_edge(a, c)
+        graph.add_edge(b, c)
+        planted.append((a, b, c))
+    epsilon = num_triangles / max(1, graph.num_edges)
+    return PlantedInstance(graph, tuple(planted), epsilon)
+
+
+def far_instance(n: int, d: float, epsilon: float, seed: int = 0
+                 ) -> PlantedInstance:
+    """An instance with average degree ≈ d that is ≈ epsilon-far.
+
+    Total edges ≈ nd/2; we plant ``epsilon * nd / 2`` disjoint triangles
+    (3 edges each) and fill the remaining density with background noise.
+    The returned certificate reports the farness actually achieved.
+    """
+    if epsilon <= 0 or epsilon > 1:
+        raise ValueError(f"epsilon must be in (0,1], got {epsilon}")
+    target_edges = n * d / 2.0
+    num_triangles = max(1, int(epsilon * target_edges))
+    num_triangles = min(num_triangles, n // 3)
+    triangle_edges = 3 * num_triangles
+    leftover = max(0.0, target_edges - triangle_edges)
+    background_degree = 2.0 * leftover / n
+    return planted_disjoint_triangles(
+        n, num_triangles, seed=seed, background_degree=background_degree
+    )
+
+
+def skewed_hub_graph(n: int, num_hubs: int, vees_per_hub: int,
+                     seed: int = 0, background_degree: float = 0.0) -> Graph:
+    """A few high-degree hubs source all triangle-vees (§3.3 hard case).
+
+    Each hub h is connected to ``2 * vees_per_hub`` distinct spoke vertices
+    paired into vees; each vee's two spokes are joined by the closing edge.
+    Uniform vertex sampling almost never hits a hub, which is exactly the
+    situation degree bucketing is designed to rescue.
+    """
+    rng = random.Random(seed)
+    if num_hubs < 1:
+        raise ValueError(f"need at least one hub, got {num_hubs}")
+    spokes_needed = 2 * vees_per_hub * num_hubs
+    if num_hubs + spokes_needed > n:
+        raise ValueError(
+            f"n={n} too small for {num_hubs} hubs x {vees_per_hub} vees"
+        )
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    hubs = vertices[:num_hubs]
+    spokes = vertices[num_hubs: num_hubs + spokes_needed]
+    graph = (
+        gnd(n, background_degree, seed=seed + 1)
+        if background_degree > 0
+        else Graph(n)
+    )
+    cursor = 0
+    for hub in hubs:
+        for _ in range(vees_per_hub):
+            a, b = spokes[cursor], spokes[cursor + 1]
+            cursor += 2
+            graph.add_edge(hub, a)
+            graph.add_edge(hub, b)
+            graph.add_edge(a, b)
+    return graph
+
+
+@dataclass(frozen=True)
+class TripartiteParts:
+    """Vertex ranges of the three parts of a µ-distribution graph."""
+
+    u_part: range
+    v1_part: range
+    v2_part: range
+
+    @property
+    def n(self) -> int:
+        return len(self.u_part) + len(self.v1_part) + len(self.v2_part)
+
+
+def mu_parts(part_size: int) -> TripartiteParts:
+    """Part layout used by :func:`tripartite_mu`: U, V1, V2 contiguous."""
+    return TripartiteParts(
+        u_part=range(0, part_size),
+        v1_part=range(part_size, 2 * part_size),
+        v2_part=range(2 * part_size, 3 * part_size),
+    )
+
+
+def tripartite_mu(part_size: int, gamma: float, seed: int = 0
+                  ) -> tuple[Graph, TripartiteParts]:
+    """Sample from the lower-bound distribution µ (Section 4.2.1).
+
+    A tripartite graph on parts U, V1, V2 of ``part_size`` vertices each;
+    every cross-part pair is an edge independently with probability
+    ``gamma / sqrt(n)`` where ``n = 3 * part_size`` is the total vertex
+    count.  The expected average degree is Θ(gamma * sqrt(n)).
+    """
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    parts = mu_parts(part_size)
+    n = parts.n
+    p = min(1.0, gamma / math.sqrt(n))
+    rng = random.Random(seed)
+    graph = Graph(n)
+    part_pairs = (
+        (parts.u_part, parts.v1_part),
+        (parts.u_part, parts.v2_part),
+        (parts.v1_part, parts.v2_part),
+    )
+    for part_a, part_b in part_pairs:
+        for u in part_a:
+            for v in part_b:
+                if rng.random() < p:
+                    graph.add_edge(u, v)
+    return graph, parts
+
+
+def bipartite_triangle_free(n: int, d: float, seed: int = 0) -> Graph:
+    """A triangle-free control graph of average degree ≈ d (random bipartite)."""
+    rng = random.Random(seed)
+    half = n // 2
+    graph = Graph(n)
+    if half == 0 or n - half == 0:
+        return graph
+    p = min(1.0, n * d / (2.0 * half * (n - half)))
+    for u in range(half):
+        for v in range(half, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def planted_triangles_at_degree(n: int, num_triangles: int,
+                                vertex_degree: int, seed: int = 0) -> Graph:
+    """Plant disjoint triangles whose vertices all have a chosen degree.
+
+    Each triangle vertex receives ``vertex_degree - 2`` extra leaf edges,
+    pinning the minimal full bucket B_min at ``bucket(vertex_degree)``.
+    This controls the Theorem 3.20 refined cost Õ(k·sqrt(d(B_min)) + k²):
+    sweeping ``vertex_degree`` sweeps d(B_min) directly, with the planted
+    triangles (and hence the far promise) held fixed.  Leaves have degree
+    one, so no other bucket ever becomes full.
+    """
+    if vertex_degree < 2:
+        raise ValueError(
+            f"triangle vertices need degree >= 2, got {vertex_degree}"
+        )
+    leaves_per_vertex = vertex_degree - 2
+    needed = num_triangles * 3 * (1 + leaves_per_vertex)
+    if needed > n:
+        raise ValueError(
+            f"n={n} too small: {num_triangles} triangles at degree "
+            f"{vertex_degree} need {needed} vertices"
+        )
+    rng = random.Random(seed)
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    graph = Graph(n)
+    cursor = 3 * num_triangles
+    for t in range(num_triangles):
+        a, b, c = vertices[3 * t: 3 * t + 3]
+        graph.add_edge(a, b)
+        graph.add_edge(a, c)
+        graph.add_edge(b, c)
+        for member in (a, b, c):
+            for _ in range(leaves_per_vertex):
+                graph.add_edge(member, vertices[cursor])
+                cursor += 1
+    return graph
+
+
+def disjoint_cliques(n: int, clique_size: int, count: int,
+                     seed: int = 0) -> Graph:
+    """``count`` vertex-disjoint copies of K_{clique_size}.
+
+    Every clique vertex has degree ``clique_size - 1`` and a near-perfect
+    matching of disjoint triangle-vees on its neighbourhood — the ideal
+    *full vertex* population (α ≈ 1) at a pinned degree.  Used to measure
+    the Theorem 3.20 found-path cost Õ(k·sqrt(d(B_min)) + k²), which
+    presumes B_min's vertices carry Θ(ε·d) disjoint vees.
+    """
+    if clique_size < 3:
+        raise ValueError(
+            f"cliques need >= 3 vertices to hold triangles, "
+            f"got {clique_size}"
+        )
+    if count * clique_size > n:
+        raise ValueError(
+            f"n={n} too small for {count} disjoint K_{clique_size}"
+        )
+    rng = random.Random(seed)
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    graph = Graph(n)
+    for index in range(count):
+        members = vertices[index * clique_size: (index + 1) * clique_size]
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                graph.add_edge(u, v)
+    return graph
+
+
+def triangle_free_degree_spread(n: int, d: float, max_degree: int,
+                                seed: int = 0) -> Graph:
+    """Triangle-free control with degrees spread across all buckets.
+
+    A bipartite graph (hence triangle-free) whose left side contains
+    vertices of degree ~3^i for every bucket i up to ``max_degree``, with
+    roughly equal edge mass per bucket, totalling ≈ nd/2 edges.  This is
+    the *worst-case driver* for the unrestricted protocol: a one-sided
+    tester never finds a triangle here, so it pays its full bucket-loop
+    cost, and every bucket up to d_h is populated so no iteration exits
+    early — the measured cost is the Õ(k(nd)^{1/4} + k²) bound itself.
+    """
+    rng = random.Random(seed)
+    half = n // 2
+    if half < 2:
+        return Graph(n)
+    max_degree = min(max_degree, half - 1)
+    bucket_degrees: list[int] = []
+    degree = 1
+    while degree <= max_degree:
+        bucket_degrees.append(degree)
+        degree *= 3
+    if not bucket_degrees:
+        bucket_degrees = [1]
+    if bucket_degrees[-1] < max_degree:
+        # Include the exact ceiling so the top bucket tracks max_degree
+        # instead of the nearest power of 3 below it.
+        bucket_degrees.append(max_degree)
+    total_edges = n * d / 2.0
+    per_bucket = total_edges / len(bucket_degrees)
+    counts = [
+        max(1, int(per_bucket / bucket_degree))
+        for bucket_degree in bucket_degrees
+    ]
+    total_left = sum(counts)
+    if total_left > half:
+        shrink = half / total_left
+        counts = [max(1, int(count * shrink)) for count in counts]
+    graph = Graph(n)
+    left_cursor = 0
+    right = list(range(half, n))
+    # Heavy buckets first, so the high-degree vertices always exist even
+    # when the left side runs out of slots.
+    for bucket_degree, count in sorted(
+        zip(bucket_degrees, counts), reverse=True
+    ):
+        for _ in range(count):
+            if left_cursor >= half:
+                break
+            v = left_cursor
+            left_cursor += 1
+            partners = rng.sample(right, min(bucket_degree, len(right)))
+            for u in partners:
+                graph.add_edge(v, u)
+    return graph
+
+
+def embed_in_larger_graph(core: Graph, total_n: int, seed: int = 0) -> Graph:
+    """Lemma 4.17 embedding: the core plus isolated vertices, shuffled ids.
+
+    Triangle structure and distance to triangle-freeness are exactly those
+    of the core; only n (and hence the average degree) changes.
+    """
+    if total_n < core.n:
+        raise ValueError(
+            f"target size {total_n} smaller than core size {core.n}"
+        )
+    rng = random.Random(seed)
+    relabel = list(range(total_n))
+    rng.shuffle(relabel)
+    graph = Graph(total_n)
+    for u, v in core.edges():
+        graph.add_edge(relabel[u], relabel[v])
+    return graph

@@ -1,0 +1,206 @@
+"""Compact undirected graph used throughout the reproduction.
+
+Vertices are integers ``0 .. n-1``; edges are canonical ordered pairs
+``(u, v)`` with ``u < v``.  The class is deliberately small and dependency
+free — protocols manipulate millions of edge membership queries and the
+adjacency-set representation keeps those O(1).
+
+The paper's model hands each player a *characteristic vector* over potential
+edges; :class:`Graph` is the ground-truth union of those vectors, and
+:mod:`repro.graphs.partition` produces the per-player views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["Graph", "canonical_edge"]
+
+Edge = tuple[int, int]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """The canonical representation of the undirected edge {u, v}."""
+    if u == v:
+        raise ValueError(f"self-loop ({u}, {v}) is not a valid edge")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """Simple undirected graph on vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.  Fixed at construction; the paper's model has a
+        known vertex universe and only the edge set is distributed.
+    edges:
+        Optional iterable of edges (any orientation; canonicalized).
+    """
+
+    __slots__ = ("_n", "_adjacency", "_edge_count")
+
+    def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
+        if n < 0:
+            raise ValueError(f"vertex count must be non-negative, got {n}")
+        self._n = n
+        self._adjacency: list[set[int]] = [set() for _ in range(n)]
+        self._edge_count = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert {u, v}; returns True if the edge was new."""
+        u, v = canonical_edge(u, v)
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._edge_count += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete {u, v}; returns True if the edge was present."""
+        u, v = canonical_edge(u, v)
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adjacency[u]:
+            return False
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._edge_count -= 1
+        return True
+
+    def copy(self) -> "Graph":
+        clone = Graph(self._n)
+        for u in range(self._n):
+            clone._adjacency[u] = set(self._adjacency[u])
+        clone._edge_count = self._edge_count
+        return clone
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Edge]) -> "Graph":
+        return cls(n, edges)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adjacency[u]
+
+    def degree(self, v: int) -> int:
+        self._check_vertex(v)
+        return len(self._adjacency[v])
+
+    def neighbors(self, v: int) -> frozenset[int]:
+        self._check_vertex(v)
+        return frozenset(self._adjacency[v])
+
+    def average_degree(self) -> float:
+        """``2|E| / n`` — the ``d`` of the paper's complexity bounds."""
+        if self._n == 0:
+            return 0.0
+        return 2.0 * self._edge_count / self._n
+
+    def edges(self) -> Iterator[Edge]:
+        """All edges in canonical orientation, ascending."""
+        for u in range(self._n):
+            for v in self._adjacency[u]:
+                if u < v:
+                    yield (u, v)
+
+    def edge_set(self) -> set[Edge]:
+        return set(self.edges())
+
+    def degrees(self) -> list[int]:
+        return [len(adj) for adj in self._adjacency]
+
+    def isolated_vertices(self) -> list[int]:
+        return [v for v in range(self._n) if not self._adjacency[v]]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph_edges(self, vertices: Iterable[int]) -> set[Edge]:
+        """Edges with both endpoints in ``vertices`` (Section 3.1 primitive)."""
+        vertex_set = set(vertices)
+        found: set[Edge] = set()
+        for u in vertex_set:
+            self._check_vertex(u)
+            for v in self._adjacency[u]:
+                if v in vertex_set and u < v:
+                    found.add((u, v))
+        return found
+
+    def edges_touching(self, vertices: Iterable[int]) -> set[Edge]:
+        """Edges with at least one endpoint in ``vertices``."""
+        vertex_set = set(vertices)
+        found: set[Edge] = set()
+        for u in vertex_set:
+            self._check_vertex(u)
+            for v in self._adjacency[u]:
+                found.add(canonical_edge(u, v))
+        return found
+
+    def subgraph(self, vertices: Iterable[int]) -> "Graph":
+        """Induced subgraph, preserving vertex ids (others become isolated)."""
+        return Graph(self._n, self.induced_subgraph_edges(vertices))
+
+    def union(self, other: "Graph") -> "Graph":
+        if other.n != self._n:
+            raise ValueError(
+                f"vertex-count mismatch: {self._n} vs {other.n}"
+            )
+        merged = self.copy()
+        for u, v in other.edges():
+            merged.add_edge(u, v)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def __contains__(self, edge: Edge) -> bool:
+        u, v = edge
+        return self.has_edge(u, v)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._adjacency == other._adjacency
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs used as dict keys rarely
+        return hash((self._n, frozenset(self.edges())))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._edge_count})"
+
+    def to_networkx(self):
+        """Convert to ``networkx.Graph`` (isolated vertices preserved)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(self._n))
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise ValueError(f"vertex {v} outside range [0, {self._n})")

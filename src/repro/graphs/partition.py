@@ -1,0 +1,158 @@
+"""Distributing a graph's edges among k players.
+
+The model (Section 2): each player j receives a subset ``E_j ⊆ E``; the
+logical OR of the players' characteristic vectors is ``E``.  Edges may be
+*duplicated* (several players hold the same edge) and no vertex's incident
+edges need to be co-located.  This module produces the per-player views under
+several regimes the paper analyzes:
+
+* ``partition_disjoint`` — the no-duplication variant (Corollaries 3.25,
+  3.27, Lemma 3.2): each edge to exactly one player.
+* ``partition_with_duplication`` — each edge to a random non-empty subset of
+  players, the general model where e.g. exact degree costs Ω(k·d(v)).
+* ``partition_all_to_all`` — worst-case duplication: everyone sees all edges.
+* ``partition_adversarial_skew`` — most edges to one player; stresses the
+  "relevant player" analysis of the degree-oblivious protocol (§3.4.3).
+* ``partition_by_vertex`` — CONGEST-like vertex locality, as a contrast case
+  explicitly *not* guaranteed by the model.
+
+Each returns an :class:`EdgePartition` that remembers the ground truth and
+checks the covering invariant (union of views == E) eagerly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graphs.graph import Edge, Graph
+
+__all__ = [
+    "EdgePartition",
+    "partition_disjoint",
+    "partition_with_duplication",
+    "partition_all_to_all",
+    "partition_adversarial_skew",
+    "partition_by_vertex",
+]
+
+
+@dataclass(frozen=True)
+class EdgePartition:
+    """Ground truth graph + the k per-player edge views."""
+
+    graph: Graph
+    views: tuple[frozenset[Edge], ...]
+
+    def __post_init__(self) -> None:
+        union: set[Edge] = set()
+        for view in self.views:
+            union.update(view)
+        truth = self.graph.edge_set()
+        if union != truth:
+            missing = truth - union
+            extra = union - truth
+            raise ValueError(
+                "partition does not cover the graph exactly: "
+                f"{len(missing)} missing, {len(extra)} spurious edges"
+            )
+
+    @property
+    def k(self) -> int:
+        return len(self.views)
+
+    @property
+    def has_duplication(self) -> bool:
+        total = sum(len(view) for view in self.views)
+        return total > self.graph.num_edges
+
+    def view(self, player: int) -> frozenset[Edge]:
+        return self.views[player]
+
+    def multiplicity(self, edge: Edge) -> int:
+        """How many players hold ``edge``."""
+        return sum(1 for view in self.views if edge in view)
+
+
+def _require_players(k: int) -> None:
+    if k < 1:
+        raise ValueError(f"need at least one player, got k={k}")
+
+
+def partition_disjoint(graph: Graph, k: int, seed: int = 0) -> EdgePartition:
+    """Each edge assigned to exactly one uniformly random player."""
+    _require_players(k)
+    rng = random.Random(seed)
+    buckets: list[set[Edge]] = [set() for _ in range(k)]
+    for edge in graph.edges():
+        buckets[rng.randrange(k)].add(edge)
+    return EdgePartition(graph, tuple(frozenset(b) for b in buckets))
+
+
+def partition_with_duplication(graph: Graph, k: int, seed: int = 0,
+                               duplication_probability: float = 0.3
+                               ) -> EdgePartition:
+    """Each edge to one random owner, plus each other player w.p. ``p``.
+
+    Guarantees coverage (the owner) while exercising the duplicated-input
+    code paths (degree approximation, permutation-based unbiased sampling).
+    """
+    _require_players(k)
+    if not 0.0 <= duplication_probability <= 1.0:
+        raise ValueError(
+            f"duplication probability must be in [0,1], "
+            f"got {duplication_probability}"
+        )
+    rng = random.Random(seed)
+    buckets: list[set[Edge]] = [set() for _ in range(k)]
+    for edge in graph.edges():
+        owner = rng.randrange(k)
+        buckets[owner].add(edge)
+        for other in range(k):
+            if other != owner and rng.random() < duplication_probability:
+                buckets[other].add(edge)
+    return EdgePartition(graph, tuple(frozenset(b) for b in buckets))
+
+
+def partition_all_to_all(graph: Graph, k: int) -> EdgePartition:
+    """Maximal duplication: every player sees every edge."""
+    _require_players(k)
+    full = frozenset(graph.edges())
+    return EdgePartition(graph, tuple(full for _ in range(k)))
+
+
+def partition_adversarial_skew(graph: Graph, k: int, seed: int = 0,
+                               heavy_fraction: float = 0.9) -> EdgePartition:
+    """Player 0 gets ~``heavy_fraction`` of edges, the rest spread thin.
+
+    Models the irrelevant-player regime of §3.4.3: most players observe a
+    local average degree far below the global one.
+    """
+    _require_players(k)
+    if not 0.0 < heavy_fraction <= 1.0:
+        raise ValueError(
+            f"heavy fraction must be in (0,1], got {heavy_fraction}"
+        )
+    rng = random.Random(seed)
+    buckets: list[set[Edge]] = [set() for _ in range(k)]
+    for edge in graph.edges():
+        if k == 1 or rng.random() < heavy_fraction:
+            buckets[0].add(edge)
+        else:
+            buckets[1 + rng.randrange(k - 1)].add(edge)
+    return EdgePartition(graph, tuple(frozenset(b) for b in buckets))
+
+
+def partition_by_vertex(graph: Graph, k: int, seed: int = 0) -> EdgePartition:
+    """Assign vertices to players; each edge to its lower endpoint's player.
+
+    A CONGEST-flavoured locality pattern.  The paper's model explicitly does
+    *not* promise this; it is provided as a contrast workload.
+    """
+    _require_players(k)
+    rng = random.Random(seed)
+    owner = [rng.randrange(k) for _ in range(graph.n)]
+    buckets: list[set[Edge]] = [set() for _ in range(k)]
+    for u, v in graph.edges():
+        buckets[owner[u]].add((u, v))
+    return EdgePartition(graph, tuple(frozenset(b) for b in buckets))

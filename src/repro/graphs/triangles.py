@@ -1,0 +1,217 @@
+"""Triangle machinery: detection, enumeration, vees, packings, farness.
+
+The paper's promise problem distinguishes triangle-free graphs from graphs
+that are ``epsilon``-far from triangle-free, i.e. at least ``epsilon * |E|``
+edges must be removed to destroy all triangles.  Exact distance is NP-hard in
+general, but the paper only ever uses farness through one consequence
+(Observation 3.3): an ``epsilon``-far graph contains at least
+``epsilon * n * d`` *edge-disjoint* triangle-vees, equivalently
+``epsilon * |E| / 3``-ish edge-disjoint triangles.  This module provides:
+
+* exact triangle detection / enumeration / counting,
+* triangle-vee utilities (Definition 2) and triangle edges (Definition 3),
+* a greedy maximal edge-disjoint triangle packing, which certifies a lower
+  bound on the distance (each packed triangle needs one removed edge),
+* and a certified ``is_epsilon_far`` predicate built on the packing.
+
+The packing lower bound is what generators use to *certify* that a produced
+instance really satisfies the promise, so protocol correctness tests never
+depend on an uncertified farness claim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+
+__all__ = [
+    "find_triangle",
+    "iter_triangles",
+    "count_triangles",
+    "triangle_edges",
+    "is_triangle_free",
+    "contains_triangle_among",
+    "find_triangle_among",
+    "iter_triangle_vees",
+    "is_triangle_vee",
+    "close_vee",
+    "greedy_triangle_packing",
+    "packing_distance_lower_bound",
+    "is_epsilon_far_certified",
+    "make_triangle_free_by_removal",
+]
+
+Triangle = tuple[int, int, int]
+
+
+def _canonical_triangle(a: int, b: int, c: int) -> Triangle:
+    x, y, z = sorted((a, b, c))
+    return (x, y, z)
+
+
+def find_triangle(graph: Graph) -> Triangle | None:
+    """Return some triangle of ``graph`` or ``None``.
+
+    Iterates edges and intersects endpoint neighbourhoods — O(sum of
+    min-degree over edges), fine at reproduction scales.
+    """
+    for u, v in graph.edges():
+        smaller, larger = (
+            (u, v) if graph.degree(u) <= graph.degree(v) else (v, u)
+        )
+        for w in graph.neighbors(smaller):
+            if w != larger and graph.has_edge(w, larger):
+                return _canonical_triangle(u, v, w)
+    return None
+
+
+def iter_triangles(graph: Graph) -> Iterator[Triangle]:
+    """Yield every triangle exactly once (vertices ascending)."""
+    for u, v in graph.edges():
+        common = graph.neighbors(u) & graph.neighbors(v)
+        for w in common:
+            if w > v:  # u < v < w guarantees uniqueness
+                yield (u, v, w)
+
+
+def count_triangles(graph: Graph) -> int:
+    return sum(1 for _ in iter_triangles(graph))
+
+
+def is_triangle_free(graph: Graph) -> bool:
+    return find_triangle(graph) is None
+
+
+def triangle_edges(graph: Graph) -> set[Edge]:
+    """All edges that participate in at least one triangle (Definition 3)."""
+    result: set[Edge] = set()
+    for a, b, c in iter_triangles(graph):
+        result.add((a, b))
+        result.add((a, c))
+        result.add((b, c))
+    return result
+
+
+def contains_triangle_among(edges: Iterable[Edge]) -> bool:
+    """Does this plain edge collection contain a triangle?
+
+    Used by referees, which receive bags of edges rather than a graph.
+    """
+    return find_triangle_among(edges) is not None
+
+
+def find_triangle_among(edges: Iterable[Edge]) -> Triangle | None:
+    """Find a triangle inside a plain edge collection, or ``None``."""
+    adjacency: dict[int, set[int]] = {}
+    for u, v in edges:
+        u, v = canonical_edge(u, v)
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    for u, neighbours in adjacency.items():
+        for v in neighbours:
+            if v < u:
+                continue
+            common = neighbours & adjacency[v]
+            for w in common:
+                return _canonical_triangle(u, v, w)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Triangle-vees (Definition 2)
+# ----------------------------------------------------------------------
+def is_triangle_vee(graph: Graph, e1: Edge, e2: Edge) -> bool:
+    """Is the edge pair a triangle-vee, i.e. shares a vertex and closes?
+
+    ``{{u,v},{v,w}}`` is a triangle-vee when ``{u,w}`` is also an edge.
+    """
+    shared = set(e1) & set(e2)
+    if len(shared) != 1:
+        return False
+    (u,) = set(e1) - shared
+    (w,) = set(e2) - shared
+    return graph.has_edge(u, w)
+
+
+def close_vee(graph: Graph, e1: Edge, e2: Edge) -> Edge | None:
+    """The closing edge of the vee, if the pair is a vee and it closes."""
+    shared = set(e1) & set(e2)
+    if len(shared) != 1:
+        return None
+    (u,) = set(e1) - shared
+    (w,) = set(e2) - shared
+    if graph.has_edge(u, w):
+        return canonical_edge(u, w)
+    return None
+
+
+def iter_triangle_vees(graph: Graph, source: int) -> Iterator[tuple[Edge, Edge]]:
+    """All triangle-vees whose source (shared vertex) is ``source``."""
+    neighbours = sorted(graph.neighbors(source))
+    for i, u in enumerate(neighbours):
+        for w in neighbours[i + 1:]:
+            if graph.has_edge(u, w):
+                yield (
+                    canonical_edge(source, u),
+                    canonical_edge(source, w),
+                )
+
+
+# ----------------------------------------------------------------------
+# Packings and farness
+# ----------------------------------------------------------------------
+def greedy_triangle_packing(graph: Graph) -> list[Triangle]:
+    """A maximal set of pairwise edge-disjoint triangles, greedily.
+
+    Maximality implies the packing is a 3-approximation of the maximum
+    packing, and each packed triangle certifies one necessary edge removal,
+    so ``len(packing)`` lower-bounds the distance to triangle-freeness.
+    """
+    used_edges: set[Edge] = set()
+    packing: list[Triangle] = []
+    for a, b, c in iter_triangles(graph):
+        edges = ((a, b), (a, c), (b, c))
+        if any(edge in used_edges for edge in edges):
+            continue
+        used_edges.update(edges)
+        packing.append((a, b, c))
+    return packing
+
+
+def packing_distance_lower_bound(graph: Graph) -> int:
+    """Certified lower bound on #edges to remove for triangle-freeness."""
+    return len(greedy_triangle_packing(graph))
+
+
+def is_epsilon_far_certified(graph: Graph, epsilon: float) -> bool:
+    """Certify ``epsilon``-farness via the greedy packing lower bound.
+
+    Returns True only when the packing *proves* farness; a False does not
+    prove closeness (the bound may simply be loose).
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    required = epsilon * graph.num_edges
+    return packing_distance_lower_bound(graph) >= required
+
+
+def make_triangle_free_by_removal(graph: Graph) -> tuple[Graph, int]:
+    """Destroy all triangles by repeated edge deletion; returns (graph, #removed).
+
+    Greedy upper bound on the distance: repeatedly remove the edge that
+    currently participates in the most triangles.  Used by tests to sandwich
+    the true distance between the packing lower bound and this upper bound.
+    """
+    work = graph.copy()
+    removed = 0
+    while True:
+        counts: dict[Edge, int] = {}
+        for a, b, c in iter_triangles(work):
+            for edge in ((a, b), (a, c), (b, c)):
+                counts[edge] = counts.get(edge, 0) + 1
+        if not counts:
+            return work, removed
+        busiest = max(counts, key=lambda edge: (counts[edge], edge))
+        work.remove_edge(*busiest)
+        removed += 1

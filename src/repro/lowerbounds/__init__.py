@@ -1,0 +1,131 @@
+"""Section 4 lower-bound machinery, executable.
+
+* :mod:`repro.lowerbounds.information` — entropy/KL/MI toolkit and the
+  paper's information lemmas (4.2, 4.3, 4.13) as checkable statements;
+* :mod:`repro.lowerbounds.distributions` — the hard distribution µ and its
+  canonical 3-player split;
+* :mod:`repro.lowerbounds.covered` — reported/covered edges and Δ_t sums by
+  exact posterior enumeration (Definitions 10/11, Lemma 4.6);
+* :mod:`repro.lowerbounds.boolean_matching` — BM_n and the Theorem 4.16
+  reduction for d = Θ(1);
+* :mod:`repro.lowerbounds.symmetrization` — the Theorem 4.15 k-player lift
+  and its expected-cost identity;
+* :mod:`repro.lowerbounds.embedding` — the Lemma 4.17 degree-downscaling
+  embedding and the transferred Theorem 4.1 bounds.
+"""
+
+from repro.lowerbounds.boolean_matching import (
+    BMInstance,
+    bm_product,
+    gadget_has_triangle,
+    reduction_graph,
+    reduction_partition,
+    sample_bm_instance,
+)
+from repro.lowerbounds.covered import (
+    PosteriorAnalysis,
+    analyze_player,
+    covered_edges,
+    covered_probability,
+    delta_sum,
+    expected_total_divergence,
+    message_entropy_bits,
+    reported_edges,
+    truncation_message,
+)
+from repro.lowerbounds.distributions import (
+    MuDistribution,
+    conditioned_error_bound,
+    MuSample,
+    estimate_far_probability,
+    split_three_players,
+)
+from repro.lowerbounds.embedding import (
+    EmbeddedInstance,
+    core_size_for_degree,
+    embed_mu_for_degree,
+    transferred_oneway_bound,
+    transferred_simultaneous_bound,
+)
+from repro.lowerbounds.information import (
+    bernoulli_kl,
+    binary_entropy,
+    entropy,
+    kl_divergence,
+    lemma_4_3_holds,
+    lemma_4_3_lower_bound,
+    lemma_4_13_bound,
+    mutual_information,
+    mutual_information_from_joint,
+    reported_edge_divergence,
+    superadditivity_gap,
+)
+from repro.lowerbounds.oneway_analysis import (
+    TranscriptStats,
+    analyze_transcript,
+    coverage_bound_rhs,
+    delta_plus_sum,
+    expected_transcript_stats,
+)
+from repro.lowerbounds.oneway_protocols import (
+    OneWayCurvePoint,
+    budget_success_curve,
+    oneway_triangle_edge_protocol,
+)
+from repro.lowerbounds.symmetrization import (
+    SymmetrizationReport,
+    embed,
+    sample_eta,
+    verify_cost_identity,
+)
+
+__all__ = [
+    "BMInstance",
+    "bm_product",
+    "gadget_has_triangle",
+    "reduction_graph",
+    "reduction_partition",
+    "sample_bm_instance",
+    "PosteriorAnalysis",
+    "analyze_player",
+    "covered_edges",
+    "covered_probability",
+    "delta_sum",
+    "expected_total_divergence",
+    "message_entropy_bits",
+    "reported_edges",
+    "truncation_message",
+    "MuDistribution",
+    "conditioned_error_bound",
+    "MuSample",
+    "estimate_far_probability",
+    "split_three_players",
+    "EmbeddedInstance",
+    "core_size_for_degree",
+    "embed_mu_for_degree",
+    "transferred_oneway_bound",
+    "transferred_simultaneous_bound",
+    "bernoulli_kl",
+    "binary_entropy",
+    "entropy",
+    "kl_divergence",
+    "lemma_4_3_holds",
+    "lemma_4_3_lower_bound",
+    "lemma_4_13_bound",
+    "mutual_information",
+    "mutual_information_from_joint",
+    "reported_edge_divergence",
+    "superadditivity_gap",
+    "TranscriptStats",
+    "analyze_transcript",
+    "coverage_bound_rhs",
+    "delta_plus_sum",
+    "expected_transcript_stats",
+    "OneWayCurvePoint",
+    "budget_success_curve",
+    "oneway_triangle_edge_protocol",
+    "SymmetrizationReport",
+    "embed",
+    "sample_eta",
+    "verify_cost_identity",
+]

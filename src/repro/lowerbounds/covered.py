@@ -1,0 +1,243 @@
+"""Covered and reported edges: the Section 4.2 posterior machinery.
+
+The lower bounds reason about what a transcript does to the posterior
+distribution of the input:
+
+* an edge is **reported** by a message when its posterior probability of
+  being in the sender's input reaches 9/10 (Definition 10);
+* a V1×V2 pair is **covered** by Alice's and Bob's messages when the
+  posterior probability that some u ∈ U forms a vee over it reaches 9/10
+  (Definition 11);
+* ``Δ_t(e)`` is the posterior lift ``Pr[X_e = 1 | t] − 2γ/sqrt(n)``, and
+  Lemma 4.6 bounds ``E_t Σ_e Δ_t(e)`` by the transcript length.
+
+On small universes all of these are *exactly computable* by enumerating
+the 2^|universe| possible inputs, which is what this module does — turning
+the paper's proof objects into measurable quantities.  Tests verify
+Lemma 4.6's information bound and Lemma 4.11/4.13-style statements on real
+message functions; benchmarks sweep message budgets and watch the covered
+set (and protocol success) collapse below the predicted thresholds.
+
+Message functions must be deterministic maps from an input edge set to a
+hashable message; :func:`truncation_message` builds the canonical
+communication-starved family (send the first ``t`` edges under a fixed
+order), whose message space directly reflects its bit budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.lowerbounds.information import bernoulli_kl
+
+__all__ = [
+    "PosteriorAnalysis",
+    "analyze_player",
+    "delta_sum",
+    "reported_edges",
+    "expected_total_divergence",
+    "covered_probability",
+    "covered_edges",
+    "truncation_message",
+    "message_entropy_bits",
+]
+
+Item = tuple[int, int]
+MessageFn = Callable[[frozenset], Hashable]
+
+_MAX_UNIVERSE = 22
+"""Exact enumeration cap: 2^22 ≈ 4M inputs is the practical ceiling."""
+
+
+@dataclass(frozen=True)
+class PosteriorAnalysis:
+    """Exact posterior analysis of one player's message function.
+
+    The player's input is an iid-Bernoulli(p) subset of ``universe``; the
+    analysis enumerates every subset, groups by message, and records the
+    conditional input distribution and per-item posteriors.
+    """
+
+    universe: tuple[Item, ...]
+    prior: float
+    message_probabilities: dict[Hashable, float]
+    posteriors: dict[Hashable, dict[Item, float]]
+    inputs_by_message: dict[Hashable, list[tuple[frozenset, float]]]
+    """message -> [(input set, conditional probability)]."""
+
+    def posterior(self, message: Hashable, item: Item) -> float:
+        return self.posteriors[message].get(item, 0.0)
+
+    def messages(self) -> list[Hashable]:
+        return sorted(
+            self.message_probabilities, key=lambda m: repr(m)
+        )
+
+
+def analyze_player(universe: Sequence[Item], prior: float,
+                   message_of: MessageFn) -> PosteriorAnalysis:
+    """Enumerate all inputs over ``universe`` and compute posteriors."""
+    if not 0.0 < prior < 1.0:
+        raise ValueError(f"prior must be in (0,1), got {prior}")
+    if len(universe) > _MAX_UNIVERSE:
+        raise ValueError(
+            f"universe of {len(universe)} items exceeds the exact "
+            f"enumeration cap of {_MAX_UNIVERSE}"
+        )
+    universe = tuple(universe)
+    message_probabilities: dict[Hashable, float] = {}
+    mass_with_item: dict[Hashable, dict[Item, float]] = {}
+    inputs_by_message: dict[Hashable, list[tuple[frozenset, float]]] = {}
+    for size in range(len(universe) + 1):
+        for combo in itertools.combinations(universe, size):
+            subset = frozenset(combo)
+            probability = (
+                prior ** len(subset)
+                * (1.0 - prior) ** (len(universe) - len(subset))
+            )
+            message = message_of(subset)
+            message_probabilities[message] = (
+                message_probabilities.get(message, 0.0) + probability
+            )
+            per_item = mass_with_item.setdefault(message, {})
+            for item in subset:
+                per_item[item] = per_item.get(item, 0.0) + probability
+            inputs_by_message.setdefault(message, []).append(
+                (subset, probability)
+            )
+    posteriors: dict[Hashable, dict[Item, float]] = {}
+    for message, total in message_probabilities.items():
+        posteriors[message] = {
+            item: mass / total
+            for item, mass in mass_with_item.get(message, {}).items()
+        }
+        inputs_by_message[message] = [
+            (subset, probability / total)
+            for subset, probability in inputs_by_message[message]
+        ]
+    return PosteriorAnalysis(
+        universe=universe,
+        prior=prior,
+        message_probabilities=message_probabilities,
+        posteriors=posteriors,
+        inputs_by_message=inputs_by_message,
+    )
+
+
+def delta_sum(analysis: PosteriorAnalysis, message: Hashable,
+              prior_multiplier: float = 2.0) -> float:
+    """Σ_e Δ_t(e) = Σ_e (posterior − prior_multiplier · prior) for one t."""
+    return sum(
+        analysis.posterior(message, item)
+        - prior_multiplier * analysis.prior
+        for item in analysis.universe
+    )
+
+
+def reported_edges(analysis: PosteriorAnalysis, message: Hashable,
+                   threshold: float = 0.9) -> set[Item]:
+    """Rep(t): items whose posterior reaches the threshold (Def. 10)."""
+    return {
+        item
+        for item in analysis.universe
+        if analysis.posterior(message, item) >= threshold
+    }
+
+
+def expected_total_divergence(analysis: PosteriorAnalysis) -> float:
+    """E_t Σ_e D(posterior_e || prior) — Lemma 4.6's left-hand side.
+
+    Super-additivity bounds this by the message entropy, hence by any bit
+    budget that can realize the message function.
+    """
+    total = 0.0
+    for message, message_probability in (
+        analysis.message_probabilities.items()
+    ):
+        inner = sum(
+            bernoulli_kl(analysis.posterior(message, item), analysis.prior)
+            for item in analysis.universe
+        )
+        total += message_probability * inner
+    return total
+
+
+def message_entropy_bits(analysis: PosteriorAnalysis) -> float:
+    """Entropy of the message — the information budget actually used."""
+    return -sum(
+        p * math.log2(p)
+        for p in analysis.message_probabilities.values()
+        if p > 0.0
+    )
+
+
+def covered_probability(alice: PosteriorAnalysis, bob: PosteriorAnalysis,
+                        alice_message: Hashable, bob_message: Hashable,
+                        v1: int, v2: int,
+                        u_part: Iterable[int]) -> float:
+    """Pr[∃u ∈ U: (u,v1) ∈ E1 ∧ (u,v2) ∈ E2 | messages] — exactly.
+
+    Alice's universe must contain the (u, v1) pairs and Bob's the (u, v2)
+    pairs, as *ordered* tuples with the U-vertex first — (0, 1) means
+    "u=0 paired with v=1", distinct from (1, 0).  Conditioned on the
+    messages the two inputs stay independent (simultaneous/one-way
+    protocols), so the joint is a product over the two conditional input
+    distributions.
+    """
+    u_list = list(u_part)
+    alice_inputs = alice.inputs_by_message[alice_message]
+    bob_inputs = bob.inputs_by_message[bob_message]
+
+    def vee_profile(subset: frozenset, v: int) -> tuple[bool, ...]:
+        return tuple((u, v) in subset for u in u_list)
+
+    alice_profiles: dict[tuple[bool, ...], float] = {}
+    for subset, probability in alice_inputs:
+        profile = vee_profile(subset, v1)
+        alice_profiles[profile] = alice_profiles.get(profile, 0.0) + probability
+    bob_profiles: dict[tuple[bool, ...], float] = {}
+    for subset, probability in bob_inputs:
+        profile = vee_profile(subset, v2)
+        bob_profiles[profile] = bob_profiles.get(profile, 0.0) + probability
+
+    covered = 0.0
+    for profile_a, pa in alice_profiles.items():
+        for profile_b, pb in bob_profiles.items():
+            if any(a and b for a, b in zip(profile_a, profile_b)):
+                covered += pa * pb
+    return covered
+
+
+def covered_edges(alice: PosteriorAnalysis, bob: PosteriorAnalysis,
+                  alice_message: Hashable, bob_message: Hashable,
+                  pairs: Iterable[tuple[int, int]],
+                  u_part: Iterable[int],
+                  threshold: float = 0.9) -> set[tuple[int, int]]:
+    """C(t): the V1×V2 pairs covered at the threshold (Definition 11)."""
+    u_list = list(u_part)
+    return {
+        (v1, v2)
+        for v1, v2 in pairs
+        if covered_probability(
+            alice, bob, alice_message, bob_message, v1, v2, u_list
+        ) >= threshold
+    }
+
+
+def truncation_message(budget: int) -> MessageFn:
+    """The canonical starved message: the first ``budget`` edges, sorted.
+
+    With budget t over a universe of m potential edges the message space
+    has size O(m^t), i.e. ~t log m bits — sweeping t sweeps the protocol's
+    bit budget while keeping the function deterministic and analyzable.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+
+    def message_of(subset: frozenset) -> tuple:
+        return tuple(sorted(subset)[:budget])
+
+    return message_of

@@ -1,0 +1,100 @@
+"""Degree-downscaling embedding (Lemma 4.17).
+
+A lower bound proved for graphs of n' vertices and average degree Θ((n')^c)
+transfers to any lower degree d' by padding: take the hard n'-vertex core
+and add isolated vertices until the average degree falls to d'.  Triangles,
+farness and the communication problem are untouched — any protocol for the
+padded family solves the core family.  Choosing ``n' = (d'·n)^{1/(1+c)}``
+makes the padded graph have n vertices and average degree Θ(d'), which is
+how the paper converts its d = Θ(sqrt(n)) bounds (c = 1/2) into the
+Ω((nd)^{1/6}) / Ω((nd)^{1/3}) forms of Theorem 4.1.
+
+This module computes the embedding sizes, builds padded µ instances, and
+restates the transferred bounds so benchmarks can tabulate them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graphs.generators import embed_in_larger_graph
+from repro.graphs.graph import Graph
+from repro.lowerbounds.distributions import MuDistribution
+
+__all__ = [
+    "core_size_for_degree",
+    "EmbeddedInstance",
+    "embed_mu_for_degree",
+    "transferred_oneway_bound",
+    "transferred_simultaneous_bound",
+]
+
+
+def core_size_for_degree(n: int, target_degree: float,
+                         core_exponent: float = 0.5) -> int:
+    """n' = (d'·n)^{1/(1+c)}: core size so the padded graph has degree d'.
+
+    With core degree (n')^c, total edges ≈ n'·(n')^c / 2, so the padded
+    average degree is (n')^{1+c} / n = d' exactly when n' is as above.
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if target_degree <= 0:
+        raise ValueError(
+            f"target degree must be positive, got {target_degree}"
+        )
+    if not 0.0 < core_exponent < 1.0:
+        raise ValueError(
+            f"core exponent must be in (0,1), got {core_exponent}"
+        )
+    size = (target_degree * n) ** (1.0 / (1.0 + core_exponent))
+    return max(3, min(n, int(round(size))))
+
+
+@dataclass(frozen=True)
+class EmbeddedInstance:
+    """A padded hard instance with its provenance."""
+
+    graph: Graph
+    core_size: int
+    core_average_degree: float
+    target_degree: float
+
+    @property
+    def achieved_degree(self) -> float:
+        return self.graph.average_degree()
+
+
+def embed_mu_for_degree(n: int, target_degree: float, gamma: float = 0.5,
+                        seed: int = 0) -> EmbeddedInstance:
+    """A µ core of degree Θ(sqrt(n')) padded to n vertices, degree ≈ d'."""
+    core_n = core_size_for_degree(n, target_degree, core_exponent=0.5)
+    part_size = max(1, core_n // 3)
+    mu = MuDistribution(part_size=part_size, gamma=gamma)
+    sample = mu.sample(seed=seed)
+    padded = embed_in_larger_graph(sample.graph, n, seed=seed + 1)
+    return EmbeddedInstance(
+        graph=padded,
+        core_size=sample.graph.n,
+        core_average_degree=sample.graph.average_degree(),
+        target_degree=target_degree,
+    )
+
+
+def transferred_oneway_bound(n: int, d: float) -> float:
+    """Ω((nd)^{1/6}): the one-way bound after embedding (Theorem 4.1)."""
+    return (n * d) ** (1.0 / 6.0)
+
+
+def transferred_simultaneous_bound(n: int, d: float) -> float:
+    """Ω((nd)^{1/3}): the 3-player simultaneous bound after embedding."""
+    return (n * d) ** (1.0 / 3.0)
+
+
+def bound_at_core(core_n: int, exponent: float) -> float:
+    """The core bound f(n') = (n')^exponent, for table rows."""
+    return float(core_n) ** exponent
+
+
+__all__.append("bound_at_core")

@@ -1,0 +1,183 @@
+"""Information-theory toolkit for the Section 4 lower bounds.
+
+The paper's lower bounds rest on a handful of exact information-theoretic
+facts; this module implements each one so tests can verify them numerically
+and the covered/reported-edge machinery can evaluate them on real posterior
+distributions:
+
+* Shannon entropy, KL divergence (general and Bernoulli), mutual
+  information from a joint distribution;
+* super-additivity of information for independent coordinates (Lemma 4.2),
+  checkable on explicit joint tables;
+* Lemma 4.3: ``D(q || p) >= q - 2p`` for ``p < 1/2`` — the inequality that
+  converts posterior lift (Δ_t) into divergence and hence into transcript
+  bits (Lemma 4.6);
+* Lemma 4.13: a reported edge (posterior >= 9/10 against a prior of
+  γ/sqrt(n)) costs at least ``(9/40) log n`` divergence — the "each
+  reported edge is a little expensive" step behind Corollary 4.14.
+
+All distributions are plain mappings or numpy arrays; logarithms are base 2
+(bits) throughout, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "entropy",
+    "binary_entropy",
+    "kl_divergence",
+    "bernoulli_kl",
+    "mutual_information",
+    "mutual_information_from_joint",
+    "superadditivity_gap",
+    "lemma_4_3_lower_bound",
+    "lemma_4_3_holds",
+    "reported_edge_divergence",
+    "lemma_4_13_bound",
+]
+
+
+def entropy(distribution: Mapping | Sequence[float]) -> float:
+    """Shannon entropy in bits; ignores zero-probability outcomes."""
+    probabilities = _as_probabilities(distribution)
+    return float(
+        -sum(p * math.log2(p) for p in probabilities if p > 0.0)
+    )
+
+
+def binary_entropy(p: float) -> float:
+    """H(p) for a Bernoulli(p) variable."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0,1], got {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+
+
+def kl_divergence(mu: Mapping, eta: Mapping) -> float:
+    """D(mu || eta) in bits over a shared discrete support.
+
+    Infinite when mu puts mass where eta has none; that is reported as
+    ``math.inf`` rather than an exception, matching the convention that a
+    transcript ruling out an input carries unbounded pointwise information.
+    """
+    total = 0.0
+    for outcome, p in mu.items():
+        if p <= 0.0:
+            continue
+        q = eta.get(outcome, 0.0)
+        if q <= 0.0:
+            return math.inf
+        total += p * math.log2(p / q)
+    return total
+
+
+def bernoulli_kl(q: float, p: float) -> float:
+    """D(Bernoulli(q) || Bernoulli(p)) in bits."""
+    for name, value in (("q", q), ("p", p)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0,1], got {value}")
+    return kl_divergence({1: q, 0: 1.0 - q}, {1: p, 0: 1.0 - p})
+
+
+def mutual_information_from_joint(joint: np.ndarray) -> float:
+    """I(X; Y) in bits from a joint probability matrix P[x, y]."""
+    joint = np.asarray(joint, dtype=float)
+    if joint.ndim != 2:
+        raise ValueError(f"joint must be 2-D, got shape {joint.shape}")
+    if not math.isclose(float(joint.sum()), 1.0, abs_tol=1e-9):
+        raise ValueError("joint probabilities must sum to 1")
+    marginal_x = joint.sum(axis=1, keepdims=True)
+    marginal_y = joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = joint / (marginal_x * marginal_y)
+        terms = np.where(joint > 0, joint * np.log2(ratio), 0.0)
+    return float(terms.sum())
+
+
+def mutual_information(joint: Mapping[tuple, float]) -> float:
+    """I(X; Y) from a sparse joint mapping {(x, y): probability}."""
+    xs = sorted({x for x, _ in joint})
+    ys = sorted({y for _, y in joint})
+    matrix = np.zeros((len(xs), len(ys)))
+    x_index = {x: i for i, x in enumerate(xs)}
+    y_index = {y: i for i, y in enumerate(ys)}
+    for (x, y), p in joint.items():
+        matrix[x_index[x], y_index[y]] += p
+    return mutual_information_from_joint(matrix)
+
+
+def superadditivity_gap(joint: Mapping[tuple, float]) -> float:
+    """I(X1,...,Xm ; Y) − Σ_i I(X_i ; Y) for independent X_i (Lemma 4.2).
+
+    ``joint`` maps ``((x1, ..., xm), y)`` to probability.  The X_i must be
+    independent under the marginal for the lemma to apply; the returned gap
+    is then guaranteed non-negative, which tests assert.
+    """
+    keys = list(joint)
+    if not keys:
+        return 0.0
+    m = len(keys[0][0])
+    joint_xy = {
+        (tuple(x), y): p for (x, y), p in joint.items()
+    }
+    total_information = mutual_information(joint_xy)
+    coordinate_sum = 0.0
+    for i in range(m):
+        marginal = {}
+        for (x, y), p in joint.items():
+            key = (x[i], y)
+            marginal[key] = marginal.get(key, 0.0) + p
+        coordinate_sum += mutual_information(marginal)
+    return total_information - coordinate_sum
+
+
+def lemma_4_3_lower_bound(q: float, p: float) -> float:
+    """The claimed lower bound q − 2p of Lemma 4.3."""
+    return q - 2.0 * p
+
+
+def lemma_4_3_holds(q: float, p: float) -> bool:
+    """Check D(q || p) >= q − 2p for p < 1/2 (Lemma 4.3)."""
+    if not 0.0 < p < 0.5:
+        raise ValueError(f"Lemma 4.3 requires p in (0, 1/2), got {p}")
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"q must be in (0,1), got {q}")
+    return bernoulli_kl(q, p) >= lemma_4_3_lower_bound(q, p) - 1e-12
+
+
+def reported_edge_divergence(n: int, gamma: float,
+                             posterior: float = 0.9) -> float:
+    """Divergence paid to report an edge: D(posterior || γ/sqrt(n))."""
+    if n < 4:
+        raise ValueError(f"n too small for the asymptotic regime, got {n}")
+    prior = gamma / math.sqrt(n)
+    if prior >= posterior:
+        raise ValueError(
+            f"prior {prior} not below posterior {posterior}; "
+            f"increase n or decrease gamma"
+        )
+    return bernoulli_kl(posterior, prior)
+
+
+def lemma_4_13_bound(n: int) -> float:
+    """The paper's lower bound (9/40) log₂ n on a reported edge's cost."""
+    return 9.0 * math.log2(n) / 40.0
+
+
+def _as_probabilities(distribution: Mapping | Sequence[float]) -> list[float]:
+    if isinstance(distribution, Mapping):
+        values = list(distribution.values())
+    else:
+        values = list(distribution)
+    if any(v < 0 for v in values):
+        raise ValueError("probabilities must be non-negative")
+    total = sum(values)
+    if not math.isclose(total, 1.0, abs_tol=1e-9):
+        raise ValueError(f"probabilities must sum to 1, got {total}")
+    return values

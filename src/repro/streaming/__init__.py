@@ -1,0 +1,23 @@
+"""Data-stream substrate and the Section 4.2.2 reductions."""
+
+from repro.streaming.reduction import (
+    oneway_cost_of_streaming,
+    space_lower_bound_from_oneway,
+    streaming_to_oneway,
+)
+from repro.streaming.stream import StreamingAlgorithm, StreamRun, run_stream
+from repro.streaming.triangle_stream import (
+    CountingExactFinder,
+    ReservoirTriangleFinder,
+)
+
+__all__ = [
+    "StreamingAlgorithm",
+    "StreamRun",
+    "run_stream",
+    "ReservoirTriangleFinder",
+    "CountingExactFinder",
+    "streaming_to_oneway",
+    "oneway_cost_of_streaming",
+    "space_lower_bound_from_oneway",
+]

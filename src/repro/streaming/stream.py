@@ -1,0 +1,81 @@
+"""Single-pass edge-stream runtime with peak-space accounting.
+
+Section 4.2.2 transfers the one-way communication lower bound to the
+data-stream model: a space-s single-pass algorithm yields a one-way
+protocol forwarding s bits per hop, so Ω(n^{1/4}) one-way communication
+implies Ω(n^{1/4}) streaming space for triangle-edge detection on µ.
+
+This module provides the stream model itself: an algorithm processes edges
+one at a time, may be asked to serialize its state (whose size in bits is
+the charged quantity), and answers at the end.  The runtime tracks the peak
+state size across the pass — the streaming space complexity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.graphs.graph import Edge
+
+__all__ = ["StreamingAlgorithm", "StreamRun", "run_stream"]
+
+
+class StreamingAlgorithm(ABC):
+    """A single-pass algorithm over an edge stream.
+
+    Subclasses maintain internal state, must report its size honestly via
+    :meth:`state_bits`, and may expose a serializable state for the
+    streaming -> one-way reduction via :meth:`export_state` /
+    :meth:`import_state`.
+    """
+
+    @abstractmethod
+    def process(self, edge: Edge) -> None:
+        """Consume one stream element."""
+
+    @abstractmethod
+    def state_bits(self) -> int:
+        """Current memory footprint in bits (the charged quantity)."""
+
+    @abstractmethod
+    def result(self):
+        """The algorithm's answer after the pass."""
+
+    def export_state(self):
+        """Serializable state for the one-way reduction (override)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state export"
+        )
+
+    def import_state(self, state) -> None:
+        """Restore from an exported state (override)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state import"
+        )
+
+
+@dataclass(frozen=True)
+class StreamRun:
+    """Outcome of one streaming pass."""
+
+    result: object
+    peak_space_bits: int
+    elements_processed: int
+
+
+def run_stream(algorithm: StreamingAlgorithm,
+               stream: Iterable[Edge] | Sequence[Edge]) -> StreamRun:
+    """Drive one pass, tracking peak state size after every element."""
+    peak = algorithm.state_bits()
+    count = 0
+    for edge in stream:
+        algorithm.process(edge)
+        count += 1
+        peak = max(peak, algorithm.state_bits())
+    return StreamRun(
+        result=algorithm.result(),
+        peak_space_bits=peak,
+        elements_processed=count,
+    )

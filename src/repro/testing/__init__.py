@@ -1,0 +1,19 @@
+"""Query-model property-testing substrate (baselines for contrast)."""
+
+from repro.testing.oracle import QueryBudgetExceeded, QueryCounter, QueryOracle
+from repro.testing.testers import (
+    QueryTestResult,
+    dense_triple_tester,
+    induced_sample_tester,
+    sparse_vee_tester,
+)
+
+__all__ = [
+    "QueryBudgetExceeded",
+    "QueryCounter",
+    "QueryOracle",
+    "QueryTestResult",
+    "dense_triple_tester",
+    "induced_sample_tester",
+    "sparse_vee_tester",
+]

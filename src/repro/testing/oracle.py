@@ -1,0 +1,80 @@
+"""Query-model oracle with query accounting.
+
+The classical property-testing model accesses the graph only through local
+queries; testers are charged per query.  This oracle is the baseline the
+paper contrasts its communication model against (Section 1: "does the fact
+that players are not restricted to local queries make the problem easier?").
+Three query types, matching the general graph-testing model of [3]:
+
+* ``edge_query(u, v)`` — is {u, v} an edge? (dense-model primitive);
+* ``degree_query(v)`` — deg(v) (general-model auxiliary query);
+* ``neighbor_query(v, i)`` — the i-th neighbour of v (sparse-model
+  primitive, adjacency-list access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.graph import Graph
+
+__all__ = ["QueryBudgetExceeded", "QueryCounter", "QueryOracle"]
+
+
+class QueryBudgetExceeded(RuntimeError):
+    """Raised when a tester exceeds its declared query budget."""
+
+
+@dataclass
+class QueryCounter:
+    edge_queries: int = 0
+    degree_queries: int = 0
+    neighbor_queries: int = 0
+    log: list[tuple] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.edge_queries + self.degree_queries + self.neighbor_queries
+
+
+class QueryOracle:
+    """Charged query access to a hidden graph."""
+
+    def __init__(self, graph: Graph, budget: int | None = None,
+                 record_log: bool = False) -> None:
+        self._graph = graph
+        self._budget = budget
+        self._record_log = record_log
+        self.counter = QueryCounter()
+
+    @property
+    def n(self) -> int:
+        """The vertex count is public (part of the model)."""
+        return self._graph.n
+
+    def edge_query(self, u: int, v: int) -> bool:
+        self._charge(("edge", u, v))
+        self.counter.edge_queries += 1
+        return self._graph.has_edge(u, v)
+
+    def degree_query(self, v: int) -> int:
+        self._charge(("degree", v))
+        self.counter.degree_queries += 1
+        return self._graph.degree(v)
+
+    def neighbor_query(self, v: int, i: int) -> int | None:
+        """The i-th neighbour of v in sorted order, or None out of range."""
+        self._charge(("neighbor", v, i))
+        self.counter.neighbor_queries += 1
+        neighbours = sorted(self._graph.neighbors(v))
+        if 0 <= i < len(neighbours):
+            return neighbours[i]
+        return None
+
+    def _charge(self, entry: tuple) -> None:
+        if self._budget is not None and self.counter.total >= self._budget:
+            raise QueryBudgetExceeded(
+                f"query budget {self._budget} exhausted"
+            )
+        if self._record_log:
+            self.counter.log.append(entry)

@@ -1,0 +1,108 @@
+"""Query-model triangle-freeness testers (the [2]/[3] baselines).
+
+Implemented for contrast with the communication protocols: the same
+sampling strategies cost |S|² *queries* here but only |E ∩ S²| *sent edges*
+there (the paper's key observation about Algorithm 7).  All testers have
+one-sided error and return the triangle found, mirroring
+:class:`~repro.core.results.DetectionResult` semantics with a query count
+in place of a bit count.
+
+* :func:`dense_triple_tester` — sample random vertex triples, query the
+  three pairs of each; the classical dense-model tester.
+* :func:`induced_sample_tester` — sample a vertex set S and query all of
+  S²; the query-model analogue of Algorithm 7 (cost Θ(|S|²)).
+* :func:`sparse_vee_tester` — sample a vertex, grab two random incident
+  edges via neighbour queries, query the closing pair; the sparse-model
+  birthday-style tester.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.testing.oracle import QueryOracle
+
+__all__ = [
+    "QueryTestResult",
+    "dense_triple_tester",
+    "induced_sample_tester",
+    "sparse_vee_tester",
+]
+
+
+@dataclass(frozen=True)
+class QueryTestResult:
+    found: bool
+    triangle: tuple[int, int, int] | None
+    queries: int
+
+    def verdict_triangle_free(self) -> bool:
+        return not self.found
+
+
+def dense_triple_tester(oracle: QueryOracle, num_triples: int,
+                        seed: int = 0) -> QueryTestResult:
+    """Sample ``num_triples`` vertex triples; 3 edge queries each."""
+    rng = random.Random(seed)
+    n = oracle.n
+    if n < 3:
+        return QueryTestResult(False, None, oracle.counter.total)
+    for _ in range(num_triples):
+        a, b, c = rng.sample(range(n), 3)
+        if (
+            oracle.edge_query(a, b)
+            and oracle.edge_query(a, c)
+            and oracle.edge_query(b, c)
+        ):
+            x, y, z = sorted((a, b, c))
+            return QueryTestResult(True, (x, y, z), oracle.counter.total)
+    return QueryTestResult(False, None, oracle.counter.total)
+
+
+def induced_sample_tester(oracle: QueryOracle, sample_size: int,
+                          seed: int = 0) -> QueryTestResult:
+    """Sample S, query all of S² — Θ(|S|²) queries (vs Alg 7's edges)."""
+    rng = random.Random(seed)
+    n = oracle.n
+    sample = rng.sample(range(n), min(sample_size, n))
+    adjacency: dict[int, set[int]] = {v: set() for v in sample}
+    for i, u in enumerate(sample):
+        for v in sample[i + 1:]:
+            if oracle.edge_query(u, v):
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    for i, u in enumerate(sample):
+        for v in sample[i + 1:]:
+            if v in adjacency[u]:
+                for w in adjacency[u] & adjacency[v]:
+                    if w > v:
+                        return QueryTestResult(
+                            True, (u, v, w), oracle.counter.total
+                        )
+    return QueryTestResult(False, None, oracle.counter.total)
+
+
+def sparse_vee_tester(oracle: QueryOracle, num_probes: int,
+                      seed: int = 0) -> QueryTestResult:
+    """Sample a vertex, two random incident edges, query the closer.
+
+    The sparse-model strategy: at a triangle-rich vertex, two random
+    incident edges form a vee that closes with decent probability.
+    """
+    rng = random.Random(seed)
+    n = oracle.n
+    for _ in range(num_probes):
+        v = rng.randrange(n)
+        degree = oracle.degree_query(v)
+        if degree < 2:
+            continue
+        i, j = rng.sample(range(degree), 2)
+        u = oracle.neighbor_query(v, i)
+        w = oracle.neighbor_query(v, j)
+        if u is None or w is None or u == w:
+            continue
+        if oracle.edge_query(u, w):
+            a, b, c = sorted((v, u, w))
+            return QueryTestResult(True, (a, b, c), oracle.counter.total)
+    return QueryTestResult(False, None, oracle.counter.total)

@@ -1,0 +1,166 @@
+"""Tests for error amplification, the µ' conditioning, and the V_h/V_l split."""
+
+import math
+
+import pytest
+
+from repro.core.amplification import amplify, rounds_for_target
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+from repro.graphs.generators import (
+    bipartite_triangle_free,
+    far_instance,
+    skewed_hub_graph,
+)
+from repro.graphs.highlow import high_low_split
+from repro.graphs.partition import partition_disjoint
+from repro.graphs.triangles import greedy_triangle_packing
+from repro.lowerbounds.distributions import (
+    MuDistribution,
+    conditioned_error_bound,
+)
+
+
+class TestRoundsForTarget:
+    def test_exact_powers(self):
+        assert rounds_for_target(0.5, 0.125) == 3
+        assert rounds_for_target(0.1, 0.01) == 2
+
+    def test_already_good_enough(self):
+        assert rounds_for_target(0.01, 0.1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rounds_for_target(0.0, 0.1)
+        with pytest.raises(ValueError):
+            rounds_for_target(0.5, 1.0)
+
+
+class TestAmplify:
+    def weak_protocol(self, partition, seed):
+        # Deliberately starved: misses often in one round.
+        return find_triangle_sim_low(
+            partition, SimLowParams(epsilon=0.2, delta=0.2, c=1.5),
+            seed=seed,
+        )
+
+    def test_amplification_raises_detection(self):
+        instance = far_instance(800, 5.0, 0.25, seed=1)
+        partition = partition_disjoint(instance.graph, 3, seed=2)
+        single_hits = sum(
+            self.weak_protocol(partition, seed).found for seed in range(8)
+        )
+        amplified_hits = sum(
+            amplify(self.weak_protocol, partition, rounds=6, seed=seed).found
+            for seed in range(8)
+        )
+        assert amplified_hits >= single_hits
+        assert amplified_hits == 8  # 6 rounds of a ~0.6-success protocol
+
+    def test_one_sided_preserved(self):
+        control = bipartite_triangle_free(400, 5.0, seed=3)
+        partition = partition_disjoint(control, 3, seed=4)
+        result = amplify(self.weak_protocol, partition, rounds=5, seed=5)
+        assert not result.found
+
+    def test_cost_accumulates(self):
+        control = bipartite_triangle_free(400, 5.0, seed=6)
+        partition = partition_disjoint(control, 3, seed=7)
+        one_round = self.weak_protocol(partition, 8)
+        five_rounds = amplify(
+            self.weak_protocol, partition, rounds=5, seed=8,
+            stop_early=False,
+        )
+        assert five_rounds.total_bits >= 4 * one_round.total_bits
+        assert five_rounds.details["amplified_rounds"] == 5
+
+    def test_stop_early_saves(self):
+        instance = far_instance(800, 5.0, 0.25, seed=9)
+        partition = partition_disjoint(instance.graph, 3, seed=10)
+        protocol = lambda p, s: find_triangle_sim_low(
+            p, SimLowParams(epsilon=0.25, delta=0.1), seed=s
+        )
+        eager = amplify(protocol, partition, rounds=6, seed=11)
+        batch = amplify(
+            protocol, partition, rounds=6, seed=11, stop_early=False
+        )
+        assert eager.found and batch.found
+        assert eager.total_bits <= batch.total_bits
+
+    def test_rounds_validated(self):
+        instance = far_instance(100, 4.0, 0.3, seed=12)
+        partition = partition_disjoint(instance.graph, 2, seed=13)
+        with pytest.raises(ValueError):
+            amplify(self.weak_protocol, partition, rounds=0)
+
+
+class TestConditioning:
+    def test_observation_4_4_formula(self):
+        assert conditioned_error_bound(0.05, 0.5) == pytest.approx(0.1)
+        assert conditioned_error_bound(0.8, 0.5) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conditioned_error_bound(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            conditioned_error_bound(0.1, 0.0)
+
+    def test_sample_far_certifies(self):
+        mu = MuDistribution(part_size=30, gamma=1.2)
+        sample = mu.sample_far(seed=1, min_packing=3)
+        assert len(greedy_triangle_packing(sample.graph)) >= 3
+
+    def test_sample_far_unreachable_raises(self):
+        mu = MuDistribution(part_size=4, gamma=0.2)
+        with pytest.raises(RuntimeError):
+            mu.sample_far(seed=2, min_packing=50, max_tries=5)
+
+
+class TestHighLowSplit:
+    def test_threshold_formula(self):
+        instance = far_instance(400, 6.0, 0.25, seed=1)
+        split = high_low_split(instance.graph, 0.25)
+        expected = math.sqrt(
+            400 * instance.graph.average_degree() / 0.25
+        )
+        assert split.threshold == pytest.approx(expected)
+
+    def test_partition_of_vertices(self):
+        instance = far_instance(300, 5.0, 0.3, seed=2)
+        split = high_low_split(instance.graph, 0.3)
+        assert split.high_vertices | split.low_vertices == set(range(300))
+        assert not (split.high_vertices & split.low_vertices)
+
+    def test_high_high_edges_have_high_endpoints(self):
+        graph = skewed_hub_graph(200, num_hubs=4, vees_per_hub=15, seed=3)
+        split = high_low_split(graph, 0.5)
+        for u, v in split.high_high_edges:
+            assert u in split.high_vertices
+            assert v in split.high_vertices
+
+    def test_low_graph_drops_exactly_eh(self):
+        graph = skewed_hub_graph(200, num_hubs=4, vees_per_hub=15, seed=4)
+        split = high_low_split(graph, 0.5)
+        assert split.low_graph.num_edges == (
+            graph.num_edges - len(split.high_high_edges)
+        )
+
+    def test_lemma_3_11_edge_budget(self):
+        # |E_h| < εnd/2: the removed mass never threatens the promise.
+        for seed in range(3):
+            instance = far_instance(400, 6.0, 0.25, seed=seed)
+            graph = instance.graph
+            split = high_low_split(graph, 0.25)
+            budget = 0.25 * graph.n * graph.average_degree() / 2
+            assert len(split.high_high_edges) < max(1.0, budget)
+
+    def test_sparse_graph_everything_low(self):
+        instance = far_instance(500, 4.0, 0.3, seed=5)
+        split = high_low_split(instance.graph, 0.3)
+        # With d=4 and n=500, d_h ~ 82: no vertex qualifies.
+        assert split.num_high == 0
+        assert split.low_graph.num_edges == instance.graph.num_edges
+
+    def test_invalid_epsilon(self):
+        instance = far_instance(100, 4.0, 0.3, seed=6)
+        with pytest.raises(ValueError):
+            high_low_split(instance.graph, 0.0)

@@ -1,0 +1,176 @@
+"""Tests for BM_n and the Theorem 4.16 reduction."""
+
+import itertools
+
+import pytest
+
+from repro.graphs.triangles import (
+    count_triangles,
+    greedy_triangle_packing,
+    is_triangle_free,
+)
+from repro.lowerbounds.boolean_matching import (
+    BMInstance,
+    bm_product,
+    gadget_has_triangle,
+    hub_vertex,
+    reduction_graph,
+    reduction_partition,
+    sample_bm_instance,
+    side_vertex,
+)
+
+
+class TestBMInstance:
+    def test_valid_instance(self):
+        instance = BMInstance(
+            x=(0, 1, 1, 0), matching=((0, 2), (1, 3)), w=(0, 1)
+        )
+        assert instance.n == 2
+
+    def test_wrong_x_length_rejected(self):
+        with pytest.raises(ValueError):
+            BMInstance(x=(0, 1), matching=((0, 2), (1, 3)), w=(0, 1))
+
+    def test_wrong_w_length_rejected(self):
+        with pytest.raises(ValueError):
+            BMInstance(x=(0, 1, 1, 0), matching=((0, 2), (1, 3)), w=(0,))
+
+    def test_non_perfect_matching_rejected(self):
+        with pytest.raises(ValueError):
+            BMInstance(x=(0, 1, 1, 0), matching=((0, 1), (0, 3)), w=(0, 1))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            BMInstance(x=(0, 2, 1, 0), matching=((0, 2), (1, 3)), w=(0, 1))
+
+    def test_bm_product(self):
+        instance = BMInstance(
+            x=(1, 0, 1, 1), matching=((0, 2), (1, 3)), w=(0, 1)
+        )
+        # (x0^x2)^w0 = (1^1)^0 = 0; (x1^x3)^w1 = (0^1)^1 = 0.
+        assert bm_product(instance) == (0, 0)
+
+
+class TestSampler:
+    def test_zeros_promise(self):
+        for seed in range(5):
+            instance = sample_bm_instance(6, "zeros", seed=seed)
+            assert all(bit == 0 for bit in bm_product(instance))
+
+    def test_ones_promise(self):
+        for seed in range(5):
+            instance = sample_bm_instance(6, "ones", seed=seed)
+            assert all(bit == 1 for bit in bm_product(instance))
+
+    def test_invalid_promise_rejected(self):
+        with pytest.raises(ValueError):
+            sample_bm_instance(4, "maybe")
+
+    def test_matching_is_perfect(self):
+        instance = sample_bm_instance(10, "zeros", seed=3)
+        covered = sorted(j for pair in instance.matching for j in pair)
+        assert covered == list(range(20))
+
+
+class TestReductionGraph:
+    def test_vertex_layout(self):
+        assert hub_vertex() == 0
+        assert side_vertex(0, 0) == 1
+        assert side_vertex(0, 1) == 2
+        assert side_vertex(3, 0) == 7
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(ValueError):
+            side_vertex(0, 2)
+
+    def test_graph_size(self):
+        instance = sample_bm_instance(5, "zeros", seed=1)
+        graph, _, _ = reduction_graph(instance)
+        assert graph.n == 1 + 4 * 5
+
+    def test_alice_edges_at_hub(self):
+        instance = sample_bm_instance(5, "zeros", seed=2)
+        _, alice, _ = reduction_graph(instance)
+        assert len(alice) == 10  # one per x bit (2n)
+        for u, v in alice:
+            assert hub_vertex() in (u, v)
+
+    def test_bob_edges_per_gadget(self):
+        instance = sample_bm_instance(5, "ones", seed=3)
+        _, _, bob = reduction_graph(instance)
+        assert len(bob) == 10  # two per matching edge
+
+    def test_zeros_gives_n_disjoint_triangles(self):
+        for seed in range(4):
+            instance = sample_bm_instance(7, "zeros", seed=seed)
+            graph, _, _ = reduction_graph(instance)
+            assert len(greedy_triangle_packing(graph)) == 7
+
+    def test_ones_is_triangle_free(self):
+        for seed in range(4):
+            instance = sample_bm_instance(7, "ones", seed=seed)
+            graph, _, _ = reduction_graph(instance)
+            assert is_triangle_free(graph)
+
+    def test_average_degree_constant(self):
+        instance = sample_bm_instance(50, "zeros", seed=5)
+        graph, _, _ = reduction_graph(instance)
+        # 4n edges on 1+4n vertices: average degree ~ 2.
+        assert 1.5 <= graph.average_degree() <= 2.5
+
+    def test_triangle_count_equals_zero_bits(self):
+        # Mixed instance: triangles appear exactly at the zero positions.
+        instance = BMInstance(
+            x=(1, 0, 1, 1, 0, 0),
+            matching=((0, 3), (1, 4), (2, 5)),
+            w=(0, 1, 1),
+        )
+        product = bm_product(instance)
+        graph, _, _ = reduction_graph(instance)
+        assert count_triangles(graph) == sum(
+            1 for bit in product if bit == 0
+        )
+
+
+class TestGadgetDichotomy:
+    def test_exhaustive_small_instances(self):
+        """Every (x, w) over a fixed 2-edge matching: triangle in gadget i
+        iff (Mx ^ w)_i == 0 — Theorem 4.16's core claim, exhaustively."""
+        matching = ((0, 2), (1, 3))
+        for x in itertools.product((0, 1), repeat=4):
+            for w in itertools.product((0, 1), repeat=2):
+                instance = BMInstance(x=x, matching=matching, w=w)
+                product = bm_product(instance)
+                for i in range(2):
+                    assert gadget_has_triangle(instance, i) == (
+                        product[i] == 0
+                    ), f"x={x} w={w} gadget={i}"
+
+
+class TestReductionPartition:
+    def test_two_player_split(self):
+        instance = sample_bm_instance(6, "zeros", seed=7)
+        partition = reduction_partition(instance)
+        graph, alice, bob = reduction_graph(instance)
+        assert partition.views[0] == frozenset(alice)
+        assert partition.views[1] == frozenset(bob)
+
+    def test_padding_players_empty(self):
+        instance = sample_bm_instance(6, "zeros", seed=8)
+        partition = reduction_partition(instance, k=5)
+        assert all(not view for view in partition.views[2:])
+
+    def test_k_below_two_rejected(self):
+        instance = sample_bm_instance(4, "zeros", seed=9)
+        with pytest.raises(ValueError):
+            reduction_partition(instance, k=1)
+
+    def test_protocols_run_on_reduction(self):
+        # End to end: the exact protocol distinguishes the two promises.
+        from repro.core.exact_baseline import exact_triangle_detection
+
+        zeros = reduction_partition(sample_bm_instance(8, "zeros", seed=10))
+        ones = reduction_partition(sample_bm_instance(8, "ones", seed=10))
+        assert exact_triangle_detection(zeros).found
+        assert not exact_triangle_detection(ones).found

@@ -1,0 +1,166 @@
+"""Tests for the covered/reported posterior machinery (repro.lowerbounds.covered)."""
+
+import math
+
+import pytest
+
+from repro.lowerbounds.covered import (
+    analyze_player,
+    covered_edges,
+    covered_probability,
+    delta_sum,
+    expected_total_divergence,
+    message_entropy_bits,
+    reported_edges,
+    truncation_message,
+)
+
+UNIVERSE = [(0, 0), (0, 1), (1, 0), (1, 1)]  # (u, v) pairs, 2x2
+
+
+class TestAnalyzePlayer:
+    def test_message_probabilities_sum_to_one(self):
+        analysis = analyze_player(UNIVERSE, 0.3, truncation_message(1))
+        assert sum(analysis.message_probabilities.values()) == (
+            pytest.approx(1.0)
+        )
+
+    def test_posterior_of_sent_edge_is_one(self):
+        analysis = analyze_player(UNIVERSE, 0.3, truncation_message(4))
+        # Budget covers the whole universe: the message IS the input.
+        for message in analysis.messages():
+            for item in message:
+                assert analysis.posterior(message, item) == pytest.approx(1.0)
+
+    def test_empty_message_posterior_is_prior(self):
+        analysis = analyze_player(UNIVERSE, 0.3, truncation_message(0))
+        (message,) = analysis.messages()
+        for item in UNIVERSE:
+            assert analysis.posterior(message, item) == pytest.approx(0.3)
+
+    def test_conditional_inputs_normalized(self):
+        analysis = analyze_player(UNIVERSE, 0.4, truncation_message(2))
+        for message, inputs in analysis.inputs_by_message.items():
+            total = sum(probability for _, probability in inputs)
+            assert total == pytest.approx(1.0)
+
+    def test_prior_validated(self):
+        with pytest.raises(ValueError):
+            analyze_player(UNIVERSE, 0.0, truncation_message(1))
+
+    def test_universe_cap_enforced(self):
+        huge = [(0, i) for i in range(30)]
+        with pytest.raises(ValueError):
+            analyze_player(huge, 0.5, truncation_message(1))
+
+
+class TestReportedAndDelta:
+    def test_full_budget_reports_sent_edges(self):
+        analysis = analyze_player(UNIVERSE, 0.3, truncation_message(4))
+        message = ((0, 0), (1, 1))
+        assert reported_edges(analysis, message) == {(0, 0), (1, 1)}
+
+    def test_zero_budget_reports_nothing(self):
+        analysis = analyze_player(UNIVERSE, 0.3, truncation_message(0))
+        (message,) = analysis.messages()
+        assert reported_edges(analysis, message) == set()
+
+    def test_delta_sum_zero_budget(self):
+        analysis = analyze_player(UNIVERSE, 0.3, truncation_message(0))
+        (message,) = analysis.messages()
+        # Sum of (p - 2p) over 4 items = -4p.
+        assert delta_sum(analysis, message) == pytest.approx(-4 * 0.3)
+
+    def test_delta_sum_increases_with_information(self):
+        zero = analyze_player(UNIVERSE, 0.2, truncation_message(0))
+        full = analyze_player(UNIVERSE, 0.2, truncation_message(4))
+        (zero_message,) = zero.messages()
+        rich_message = ((0, 0), (0, 1), (1, 0), (1, 1))
+        assert delta_sum(full, rich_message) > delta_sum(zero, zero_message)
+
+
+class TestLemma46InformationBound:
+    @pytest.mark.parametrize("budget", [0, 1, 2, 4])
+    def test_divergence_bounded_by_message_entropy(self, budget):
+        """E_t sum_e D(posterior || prior) <= H(M) (super-additivity)."""
+        analysis = analyze_player(UNIVERSE, 0.3, truncation_message(budget))
+        divergence = expected_total_divergence(analysis)
+        assert divergence <= message_entropy_bits(analysis) + 1e-9
+
+    def test_zero_budget_zero_divergence(self):
+        analysis = analyze_player(UNIVERSE, 0.3, truncation_message(0))
+        assert expected_total_divergence(analysis) == pytest.approx(0.0)
+
+    def test_entropy_grows_with_budget(self):
+        entropies = [
+            message_entropy_bits(
+                analyze_player(UNIVERSE, 0.3, truncation_message(budget))
+            )
+            for budget in (0, 1, 2)
+        ]
+        assert entropies[0] < entropies[1] < entropies[2]
+
+
+class TestCoveredProbability:
+    def test_zero_budget_prior_cover(self):
+        prior = 0.35
+        alice = analyze_player(UNIVERSE, prior, truncation_message(0))
+        bob = analyze_player(UNIVERSE, prior, truncation_message(0))
+        (m1,) = alice.messages()
+        (m2,) = bob.messages()
+        # P(exists u in {0,1}: both edges present) = 1 - (1 - p^2)^2.
+        expected = 1 - (1 - prior ** 2) ** 2
+        assert covered_probability(
+            alice, bob, m1, m2, 0, 0, [0, 1]
+        ) == pytest.approx(expected)
+
+    def test_full_budget_certainty(self):
+        alice = analyze_player(UNIVERSE, 0.35, truncation_message(4))
+        bob = analyze_player(UNIVERSE, 0.35, truncation_message(4))
+        m1 = ((0, 0),)  # Alice holds exactly (u=0, v1=0)
+        m2 = ((0, 0),)  # Bob holds exactly (u=0, v2=0)
+        assert covered_probability(
+            alice, bob, m1, m2, 0, 0, [0, 1]
+        ) == pytest.approx(1.0)
+
+    def test_disjoint_u_no_cover(self):
+        alice = analyze_player(UNIVERSE, 0.35, truncation_message(4))
+        bob = analyze_player(UNIVERSE, 0.35, truncation_message(4))
+        m1 = ((0, 0),)  # Alice's vee arm at u=0
+        m2 = ((1, 0),)  # Bob's at u=1: no common source
+        assert covered_probability(
+            alice, bob, m1, m2, 0, 0, [0, 1]
+        ) == pytest.approx(0.0)
+
+    def test_covered_edges_threshold(self):
+        alice = analyze_player(UNIVERSE, 0.35, truncation_message(4))
+        bob = analyze_player(UNIVERSE, 0.35, truncation_message(4))
+        m1 = ((0, 0), (0, 1))
+        m2 = ((0, 0), (0, 1))
+        pairs = [(v1, v2) for v1 in (0, 1) for v2 in (0, 1)]
+        covered = covered_edges(alice, bob, m1, m2, pairs, [0, 1])
+        assert covered == set(pairs)  # u=0 covers every (v1, v2)
+
+
+class TestTruncationMessage:
+    def test_deterministic(self):
+        fn = truncation_message(2)
+        subset = frozenset({(1, 1), (0, 0), (0, 1)})
+        assert fn(subset) == fn(subset)
+
+    def test_budget_zero_constant(self):
+        fn = truncation_message(0)
+        assert fn(frozenset({(0, 0)})) == fn(frozenset())
+
+    def test_message_space_grows_with_budget(self):
+        space_sizes = []
+        for budget in (0, 1, 2):
+            analysis = analyze_player(
+                UNIVERSE, 0.5, truncation_message(budget)
+            )
+            space_sizes.append(len(analysis.message_probabilities))
+        assert space_sizes[0] < space_sizes[1] < space_sizes[2]
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            truncation_message(-1)

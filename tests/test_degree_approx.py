@@ -1,0 +1,173 @@
+"""Tests for Theorem 3.1 / Lemma 3.2 degree approximation."""
+
+import pytest
+
+from repro.comm.coordinator import CoordinatorRuntime
+from repro.comm.players import make_players
+from repro.comm.randomness import SharedRandomness
+from repro.core.degree_approx import (
+    DegreeApproxParams,
+    approx_average_degree,
+    approx_degree,
+    approx_degree_no_duplication,
+    approx_distinct_edges,
+)
+from repro.graphs.generators import gnd
+from repro.graphs.graph import Graph
+from repro.graphs.partition import (
+    partition_disjoint,
+    partition_with_duplication,
+)
+
+
+def runtime_for(graph, k=3, seed=1, duplication=True):
+    partition = (
+        partition_with_duplication(graph, k, seed=seed)
+        if duplication
+        else partition_disjoint(graph, k, seed=seed)
+    )
+    return CoordinatorRuntime(
+        make_players(partition), SharedRandomness(seed + 100)
+    )
+
+
+STRONG = DegreeApproxParams(alpha=2.0, tau=0.02, experiments_override=48)
+
+
+class TestParams:
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            DegreeApproxParams(alpha=1.0)
+
+    def test_tau_range(self):
+        with pytest.raises(ValueError):
+            DegreeApproxParams(tau=0.0)
+        with pytest.raises(ValueError):
+            DegreeApproxParams(tau=1.0)
+
+    def test_threshold_c_above_one(self):
+        with pytest.raises(ValueError):
+            DegreeApproxParams(threshold_c=1.0)
+
+    def test_experiments_default_scales_with_tau(self):
+        few = DegreeApproxParams(tau=0.2).experiments_per_round(4)
+        many = DegreeApproxParams(tau=0.01).experiments_per_round(4)
+        assert many > few
+
+    def test_experiments_override_wins(self):
+        params = DegreeApproxParams(experiments_override=7)
+        assert params.experiments_per_round(1000) == 7
+
+
+class TestApproxDegree:
+    def test_zero_degree(self):
+        graph = Graph(10, [(0, 1)])
+        rt = runtime_for(graph)
+        estimate = approx_degree(rt, 5, STRONG)
+        assert estimate.value == 0
+
+    @pytest.mark.parametrize("true_degree", [4, 16, 50])
+    def test_within_factor(self, true_degree):
+        graph = Graph(
+            true_degree + 1, [(0, i) for i in range(1, true_degree + 1)]
+        )
+        hits = 0
+        for seed in range(8):
+            rt = runtime_for(graph, seed=seed)
+            estimate = approx_degree(rt, 0, STRONG, tag=seed)
+            ratio = estimate.value / true_degree
+            if 1 / (2 * STRONG.alpha) <= ratio <= 2 * STRONG.alpha:
+                hits += 1
+        assert hits >= 6, f"approximation failed too often ({hits}/8)"
+
+    def test_msb_bracket_valid(self):
+        graph = Graph(30, [(0, i) for i in range(1, 21)])
+        rt = runtime_for(graph, k=4)
+        estimate = approx_degree(rt, 0, STRONG)
+        # d'/(2k) <= d(v) <= d' must hold by construction.
+        assert estimate.msb_bracket >= 20
+        assert estimate.msb_bracket <= 2 * 4 * 20 * 2
+
+    def test_duplication_does_not_overcount_wildly(self):
+        # Every player sees every edge: naive summing would give k*d.
+        from repro.graphs.partition import partition_all_to_all
+
+        graph = Graph(40, [(0, i) for i in range(1, 33)])
+        partition = partition_all_to_all(graph, 5)
+        hits = 0
+        for seed in range(6):
+            rt = CoordinatorRuntime(
+                make_players(partition), SharedRandomness(seed)
+            )
+            estimate = approx_degree(rt, 0, STRONG, tag=seed)
+            if estimate.value <= 2 * STRONG.alpha * 32:
+                hits += 1
+        assert hits >= 5
+
+    def test_cost_scales_sublinearly_in_degree(self):
+        small = Graph(10, [(0, i) for i in range(1, 9)])
+        big = Graph(600, [(0, i) for i in range(1, 513)])
+        rt_small = runtime_for(small)
+        approx_degree(rt_small, 0, STRONG)
+        rt_big = runtime_for(big)
+        approx_degree(rt_big, 0, STRONG)
+        # Degree grew 64x; cost must stay within a small constant factor
+        # (O(log log d) + rounds growth only).
+        assert rt_big.ledger.total_bits <= 4 * rt_small.ledger.total_bits
+
+
+class TestNoDuplication:
+    def test_exact_when_alpha_large_bits(self):
+        graph = Graph(20, [(0, i) for i in range(1, 17)])
+        rt = runtime_for(graph, duplication=False)
+        estimate = approx_degree_no_duplication(rt, 0, alpha=1.1)
+        assert 16 / 1.2 <= estimate <= 16
+
+    def test_undercounts_only(self):
+        graph = Graph(50, [(0, i) for i in range(1, 40)])
+        for alpha in (1.5, 2.0, 3.0):
+            rt = runtime_for(graph, duplication=False, seed=7)
+            estimate = approx_degree_no_duplication(rt, 0, alpha=alpha)
+            assert estimate <= 39
+            assert estimate >= 39 / (2 * alpha)
+
+    def test_zero_degree(self):
+        graph = Graph(5, [(0, 1)])
+        rt = runtime_for(graph, duplication=False)
+        assert approx_degree_no_duplication(rt, 4) == 0
+
+    def test_invalid_alpha_rejected(self):
+        graph = Graph(5, [(0, 1)])
+        rt = runtime_for(graph, duplication=False)
+        with pytest.raises(ValueError):
+            approx_degree_no_duplication(rt, 0, alpha=1.0)
+
+
+class TestDistinctEdges:
+    def test_estimates_edge_count(self):
+        graph = gnd(200, 8.0, seed=3)
+        true_edges = graph.num_edges
+        hits = 0
+        for seed in range(6):
+            rt = runtime_for(graph, seed=seed)
+            estimate = approx_distinct_edges(rt, STRONG, tag=seed)
+            if true_edges / (2 * STRONG.alpha) <= estimate.value <= (
+                2 * STRONG.alpha * true_edges
+            ):
+                hits += 1
+        assert hits >= 4
+
+    def test_average_degree_wrapper(self):
+        graph = gnd(200, 8.0, seed=3)
+        rt = runtime_for(graph, seed=11)
+        estimate = approx_average_degree(rt, STRONG, tag=11)
+        true = graph.average_degree()
+        assert true / 6 <= estimate <= 6 * true
+
+    def test_empty_graph(self):
+        graph = Graph(10)
+        from repro.graphs.partition import EdgePartition
+
+        partition = EdgePartition(graph, (frozenset(), frozenset()))
+        rt = CoordinatorRuntime(make_players(partition), SharedRandomness(0))
+        assert approx_distinct_edges(rt, STRONG).value == 0

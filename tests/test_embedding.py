@@ -1,0 +1,92 @@
+"""Tests for the Lemma 4.17 degree-downscaling embedding."""
+
+import math
+
+import pytest
+
+from repro.graphs.triangles import count_triangles
+from repro.lowerbounds.embedding import (
+    core_size_for_degree,
+    embed_mu_for_degree,
+    transferred_oneway_bound,
+    transferred_simultaneous_bound,
+)
+
+
+class TestCoreSize:
+    def test_formula(self):
+        # n' = (d' n)^{1/(1+c)} with c = 1/2.
+        n, d = 10_000, 4.0
+        expected = (d * n) ** (2.0 / 3.0)
+        assert core_size_for_degree(n, d) == pytest.approx(
+            expected, abs=1.0
+        )
+
+    def test_never_exceeds_n(self):
+        assert core_size_for_degree(100, 99.0) <= 100
+
+    def test_minimum_three(self):
+        assert core_size_for_degree(10, 0.001) >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            core_size_for_degree(0, 1.0)
+        with pytest.raises(ValueError):
+            core_size_for_degree(100, 0.0)
+        with pytest.raises(ValueError):
+            core_size_for_degree(100, 1.0, core_exponent=1.5)
+
+    def test_core_degree_yields_target(self):
+        # Self-consistency: (n')^{3/2} / n should be ~ d'.
+        n, d = 50_000, 2.0
+        core = core_size_for_degree(n, d)
+        assert core ** 1.5 / n == pytest.approx(d, rel=0.1)
+
+
+class TestEmbedMu:
+    def test_padded_size(self):
+        instance = embed_mu_for_degree(5000, 2.0, gamma=1.0, seed=1)
+        assert instance.graph.n == 5000
+
+    def test_achieved_degree_near_target(self):
+        instance = embed_mu_for_degree(8000, 2.0, gamma=1.5, seed=2)
+        # gamma and rounding move the constant; the order must match.
+        assert 0.2 * 2.0 <= instance.achieved_degree <= 5 * 2.0
+
+    def test_core_has_sqrt_degree(self):
+        instance = embed_mu_for_degree(8000, 2.0, gamma=1.5, seed=3)
+        expected = math.sqrt(instance.core_size)
+        assert 0.2 * expected <= instance.core_average_degree <= 2 * expected
+
+    def test_triangles_preserved_from_core(self):
+        instance = embed_mu_for_degree(3000, 2.0, gamma=1.5, seed=4)
+        # The padded graph's triangles are exactly the core's (isolated
+        # vertices add nothing).
+        assert count_triangles(instance.graph) > 0
+
+
+class TestTransferredBounds:
+    def test_oneway_form(self):
+        assert transferred_oneway_bound(100, 10.0) == pytest.approx(
+            1000 ** (1 / 6)
+        )
+
+    def test_simultaneous_form(self):
+        assert transferred_simultaneous_bound(100, 10.0) == pytest.approx(
+            1000 ** (1 / 3)
+        )
+
+    def test_consistency_at_sqrt_n(self):
+        # At d = sqrt(n): (nd)^{1/6} = n^{1/4} and (nd)^{1/3} = n^{1/2},
+        # recovering the direct Section 4.2 bounds.
+        n = 4096
+        d = math.sqrt(n)
+        assert transferred_oneway_bound(n, d) == pytest.approx(n ** 0.25)
+        assert transferred_simultaneous_bound(n, d) == pytest.approx(
+            n ** 0.5
+        )
+
+    def test_monotone_in_density(self):
+        assert transferred_oneway_bound(1000, 8.0) > (
+            transferred_oneway_bound(1000, 2.0)
+        )

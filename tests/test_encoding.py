@@ -1,0 +1,121 @@
+"""Unit tests for the bit-size calculus (repro.comm.encoding)."""
+
+import math
+
+import pytest
+
+from repro.comm.encoding import (
+    bits_for_universe,
+    edge_bits,
+    edge_list_bits,
+    elias_gamma_bits,
+    indicator_bits,
+    int_bits,
+    vertex_bits,
+    vertex_list_bits,
+)
+
+
+class TestBitsForUniverse:
+    def test_single_element_costs_one_bit(self):
+        assert bits_for_universe(1) == 1
+
+    def test_two_elements(self):
+        assert bits_for_universe(2) == 1
+
+    def test_power_of_two(self):
+        assert bits_for_universe(1024) == 10
+
+    def test_non_power_rounds_up(self):
+        assert bits_for_universe(1025) == 11
+
+    def test_three_elements(self):
+        assert bits_for_universe(3) == 2
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            bits_for_universe(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_for_universe(-5)
+
+
+class TestVertexAndEdgeBits:
+    def test_vertex_bits_log_n(self):
+        assert vertex_bits(256) == 8
+
+    def test_edge_is_two_vertices(self):
+        assert edge_bits(256) == 16
+
+    def test_edge_bits_small_graph(self):
+        assert edge_bits(2) == 2
+
+    def test_vertex_bits_monotone(self):
+        previous = 0
+        for n in (2, 5, 17, 100, 5000):
+            current = vertex_bits(n)
+            assert current >= previous
+            previous = current
+
+
+class TestIntBits:
+    def test_value_within_bound(self):
+        assert int_bits(5, 15) == 4
+
+    def test_zero_bound(self):
+        assert int_bits(0, 0) == 1
+
+    def test_value_above_bound_rejected(self):
+        with pytest.raises(ValueError):
+            int_bits(16, 15)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            int_bits(-1, 10)
+
+    def test_bound_inclusive(self):
+        assert int_bits(15, 15) == 4
+
+
+class TestEliasGamma:
+    def test_one_costs_one_bit(self):
+        assert elias_gamma_bits(1) == 1
+
+    def test_two(self):
+        assert elias_gamma_bits(2) == 3
+
+    def test_formula(self):
+        for value in (1, 2, 3, 7, 8, 100, 12345):
+            expected = 2 * int(math.floor(math.log2(value))) + 1
+            assert elias_gamma_bits(value) == expected
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            elias_gamma_bits(0)
+
+    def test_grows_logarithmically(self):
+        assert elias_gamma_bits(10 ** 6) < 50
+
+
+class TestListBits:
+    def test_indicator_is_one(self):
+        assert indicator_bits() == 1
+
+    def test_empty_edge_list_costs_one(self):
+        assert edge_list_bits(0, 100) == 1
+
+    def test_edge_list_linear(self):
+        assert edge_list_bits(5, 256) == 5 * 16
+
+    def test_vertex_list_linear(self):
+        assert vertex_list_bits(7, 256) == 7 * 8
+
+    def test_empty_vertex_list_costs_one(self):
+        assert vertex_list_bits(0, 100) == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            edge_list_bits(-1, 10)
+        with pytest.raises(ValueError):
+            vertex_list_bits(-1, 10)

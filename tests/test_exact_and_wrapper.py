@@ -1,0 +1,102 @@
+"""Tests for the exact baseline and the test_triangle_freeness wrapper."""
+
+import pytest
+
+from repro.comm.encoding import edge_bits
+from repro.core import check_triangle_freeness
+from repro.core.exact_baseline import (
+    exact_triangle_detection,
+    exact_triangle_detection_blackboard,
+)
+from repro.graphs.generators import (
+    bipartite_triangle_free,
+    far_instance,
+    gnd,
+)
+from repro.graphs.partition import (
+    partition_all_to_all,
+    partition_disjoint,
+)
+
+
+class TestExactBaseline:
+    def test_always_correct_on_far_instance(self):
+        instance = far_instance(200, 5.0, 0.3, seed=1)
+        partition = partition_disjoint(instance.graph, 3, seed=2)
+        result = exact_triangle_detection(partition)
+        assert result.found
+
+    def test_always_correct_on_free_graph(self):
+        control = bipartite_triangle_free(200, 5.0, seed=3)
+        partition = partition_disjoint(control, 3, seed=4)
+        assert not exact_triangle_detection(partition).found
+
+    def test_cost_is_total_input_size(self):
+        graph = gnd(100, 6.0, seed=5)
+        partition = partition_disjoint(graph, 3, seed=6)
+        result = exact_triangle_detection(partition)
+        expected = graph.num_edges * edge_bits(100)
+        assert result.total_bits == expected
+
+    def test_duplication_multiplies_cost(self):
+        graph = gnd(100, 6.0, seed=7)
+        k = 4
+        partition = partition_all_to_all(graph, k)
+        result = exact_triangle_detection(partition)
+        assert result.total_bits == k * graph.num_edges * edge_bits(100)
+
+    def test_blackboard_pays_once(self):
+        graph = gnd(100, 6.0, seed=8)
+        partition = partition_all_to_all(graph, 4)
+        result = exact_triangle_detection_blackboard(partition)
+        assert result.total_bits == graph.num_edges * edge_bits(100)
+
+    def test_blackboard_same_verdict(self):
+        instance = far_instance(150, 5.0, 0.3, seed=9)
+        partition = partition_disjoint(instance.graph, 3, seed=10)
+        assert exact_triangle_detection_blackboard(partition).found
+
+
+class TestWrapper:
+    @pytest.fixture
+    def far_partition(self):
+        instance = far_instance(600, 5.0, 0.3, seed=1)
+        return partition_disjoint(instance.graph, 3, seed=2)
+
+    @pytest.fixture
+    def free_partition(self):
+        control = bipartite_triangle_free(600, 5.0, seed=3)
+        return partition_disjoint(control, 3, seed=4)
+
+    def test_auto_picks_regime(self, far_partition):
+        verdict = check_triangle_freeness(far_partition, seed=1)
+        assert verdict is False  # far instance: triangle found
+
+    def test_free_graph_accepted(self, free_partition):
+        for protocol in ("sim-low", "sim-high", "sim-oblivious", "exact"):
+            assert check_triangle_freeness(
+                free_partition, protocol=protocol, seed=2
+            )
+
+    def test_exact_never_errs(self, far_partition):
+        assert not check_triangle_freeness(
+            far_partition, protocol="exact"
+        )
+
+    def test_kwargs_forwarded(self, far_partition):
+        verdict = check_triangle_freeness(
+            far_partition, protocol="sim-low", seed=5, epsilon=0.3, delta=0.1
+        )
+        assert verdict is False
+
+    def test_unknown_protocol_rejected(self, far_partition):
+        with pytest.raises(ValueError):
+            check_triangle_freeness(far_partition, protocol="teleport")
+
+    def test_auto_dense_uses_high(self):
+        import math
+
+        n = 400
+        instance = far_instance(n, math.sqrt(n) + 5, 0.3, seed=6)
+        partition = partition_disjoint(instance.graph, 3, seed=7)
+        assert check_triangle_freeness(partition, seed=8) is False

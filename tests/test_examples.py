@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs clean end to end.
+
+Examples are documentation; these tests keep them from rotting.  Each runs
+in a subprocess with the repository's interpreter and must exit 0 with the
+expected landmark strings on stdout.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "one-sided error check"),
+    ("building_blocks_tour.py", "approx_degree"),
+    ("degree_oblivious_tour.py", "adversarial skew"),
+    ("lower_bound_constructions.py", "symmetrization identity"),
+    ("streaming_pipeline.py", "space/success trade-off"),
+    ("subgraph_freeness.py", "one-sided error on H-free controls"),
+]
+
+
+@pytest.mark.parametrize(
+    "script,landmark", CASES, ids=[name for name, _ in CASES]
+)
+def test_example_runs(script, landmark):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}"
+    )
+    assert landmark in result.stdout, (
+        f"{script} output missing landmark {landmark!r}"
+    )

@@ -1,0 +1,219 @@
+"""Failure injection and degenerate-input robustness.
+
+Protocols must degrade gracefully, never crash or fabricate witnesses:
+starved budgets may *miss* (the permitted one-sided failure) but must stay
+sound; degenerate topologies (empty graphs, k=1, k > n, all-isolated
+inputs, promise violations) must be handled.
+"""
+
+import math
+
+import pytest
+
+from repro.core.degree_approx import DegreeApproxParams
+from repro.core.oblivious import ObliviousParams, find_triangle_sim_oblivious
+from repro.core.simultaneous_high import SimHighParams, find_triangle_sim_high
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+from repro.core.unrestricted import (
+    UnrestrictedParams,
+    find_triangle_unrestricted,
+)
+from repro.graphs.generators import far_instance, gnd
+from repro.graphs.graph import Graph
+from repro.graphs.partition import (
+    EdgePartition,
+    partition_by_vertex,
+    partition_disjoint,
+)
+
+
+def far_partition(n=300, d=5.0, epsilon=0.3, k=3, seed=1):
+    instance = far_instance(n, d, epsilon, seed=seed)
+    return instance, partition_disjoint(instance.graph, k, seed=seed + 1)
+
+
+class TestStarvedBudgets:
+    def test_zero_ish_caps_sim_low(self):
+        _, partition = far_partition()
+        params = SimLowParams(epsilon=0.3, delta=0.2, c=0.01)
+        result = find_triangle_sim_low(partition, params, seed=1)
+        # May miss, must not fabricate.
+        if result.found:
+            a, b, c = result.triangle
+            assert partition.graph.has_edge(a, b)
+
+    def test_tiny_sample_sim_high(self):
+        _, partition = far_partition(d=20.0)
+        params = SimHighParams(epsilon=0.3, delta=0.2, c=0.01)
+        result = find_triangle_sim_high(partition, params, seed=2)
+        assert result.total_bits >= 1
+
+    def test_unrestricted_one_sample(self):
+        _, partition = far_partition()
+        params = UnrestrictedParams(
+            epsilon=0.3, delta=0.2, known_average_degree=5.0,
+            samples_per_bucket=1, max_candidates=1,
+            degree_params=DegreeApproxParams(
+                alpha=2.0, experiments_override=2
+            ),
+        )
+        result = find_triangle_unrestricted(partition, params, seed=3)
+        assert result.triangle is None or len(result.triangle) == 3
+
+    def test_oblivious_uncapped_still_sound(self):
+        _, partition = far_partition()
+        params = ObliviousParams(epsilon=0.3, delta=0.2, capped=False)
+        result = find_triangle_sim_oblivious(partition, params, seed=4)
+        if result.found:
+            a, b, c = result.triangle
+            assert partition.graph.has_edge(b, c)
+
+    def test_savage_caps_miss_but_no_crash(self):
+        _, partition = far_partition()
+        params = ObliviousParams(
+            epsilon=0.3, delta=0.2, cap_scale=0.0001
+        )
+        result = find_triangle_sim_oblivious(partition, params, seed=5)
+        assert result.total_bits >= 1
+
+
+class TestDegenerateTopologies:
+    def test_single_player(self):
+        instance, _ = far_partition()
+        partition = EdgePartition(
+            instance.graph, (frozenset(instance.graph.edges()),)
+        )
+        result = find_triangle_sim_low(
+            partition, SimLowParams(epsilon=0.3, delta=0.1), seed=1
+        )
+        assert result.found  # one player holds everything
+
+    def test_more_players_than_vertices(self):
+        graph = Graph(6, [(0, 1), (0, 2), (1, 2)])
+        partition = partition_disjoint(graph, 20, seed=2)
+        result = find_triangle_sim_low(
+            partition, SimLowParams(epsilon=0.3, delta=0.1), seed=3
+        )
+        if result.found:
+            assert result.triangle == (0, 1, 2)
+
+    def test_empty_graph_everywhere(self):
+        graph = Graph(50)
+        partition = EdgePartition(graph, (frozenset(), frozenset()))
+        assert not find_triangle_sim_low(partition, seed=1).found
+        assert not find_triangle_sim_high(partition, seed=1).found
+        assert not find_triangle_sim_oblivious(partition, seed=1).found
+        assert not find_triangle_unrestricted(
+            partition,
+            UnrestrictedParams(epsilon=0.2, delta=0.2,
+                               samples_per_bucket=2, max_candidates=2),
+            seed=1,
+        ).found
+
+    def test_single_edge_graph(self):
+        graph = Graph(10, [(0, 1)])
+        partition = partition_disjoint(graph, 3, seed=4)
+        assert not find_triangle_sim_oblivious(partition, seed=5).found
+
+    def test_one_player_holds_nothing(self):
+        instance, _ = far_partition()
+        edges = frozenset(instance.graph.edges())
+        partition = EdgePartition(
+            instance.graph, (edges, frozenset(), frozenset())
+        )
+        result = find_triangle_sim_low(
+            partition, SimLowParams(epsilon=0.3, delta=0.1), seed=6
+        )
+        assert result.found
+
+    def test_vertex_locality_partition(self):
+        instance, _ = far_partition(n=400)
+        partition = partition_by_vertex(instance.graph, 4, seed=7)
+        result = find_triangle_sim_low(
+            partition, SimLowParams(epsilon=0.3, delta=0.1), seed=8
+        )
+        assert result.found
+
+
+class TestPromiseViolations:
+    def test_barely_non_free_graph(self):
+        # One triangle in a large graph: nowhere near epsilon-far.  The
+        # tester may miss (allowed); it must never crash or fabricate.
+        graph = gnd(500, 3.0, seed=9)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(0, 2)
+        partition = partition_disjoint(graph, 3, seed=10)
+        for protocol in (
+            lambda: find_triangle_sim_low(partition, seed=11),
+            lambda: find_triangle_sim_oblivious(partition, seed=11),
+        ):
+            result = protocol()
+            if result.found:
+                a, b, c = result.triangle
+                assert graph.has_edge(a, b)
+                assert graph.has_edge(a, c)
+                assert graph.has_edge(b, c)
+
+    def test_wrong_degree_hint(self):
+        # Lying to the protocol about d must not break soundness.
+        instance, partition = far_partition(d=5.0)
+        result = find_triangle_sim_high(
+            partition,
+            SimHighParams(epsilon=0.3, delta=0.2,
+                          known_average_degree=500.0),
+            seed=12,
+        )
+        if result.found:
+            assert instance.graph.has_edge(*result.witness_edges[0])
+
+    def test_epsilon_one(self):
+        # epsilon = 1: every edge is triangle mass; extreme but legal.
+        instance, partition = far_partition(epsilon=0.9)
+        result = find_triangle_sim_low(
+            partition, SimLowParams(epsilon=1.0, delta=0.1), seed=13
+        )
+        assert result.found
+
+    def test_unrestricted_wrong_degree_estimate_path(self):
+        # Oblivious-degree mode on a promise-violating sparse graph.
+        graph = gnd(200, 2.0, seed=14)
+        partition = partition_disjoint(graph, 3, seed=15)
+        params = UnrestrictedParams(
+            epsilon=0.3, delta=0.2, samples_per_bucket=6, max_candidates=3,
+            degree_params=DegreeApproxParams(
+                alpha=2.0, experiments_override=4
+            ),
+        )
+        result = find_triangle_unrestricted(partition, params, seed=16)
+        if result.found:
+            a, b, c = result.triangle
+            assert graph.has_edge(a, b)
+
+
+class TestExtremePparameters:
+    def test_sim_high_c_enormous(self):
+        _, partition = far_partition(d=15.0, n=200)
+        params = SimHighParams(epsilon=0.3, delta=0.2, c=1000.0)
+        result = find_triangle_sim_high(partition, params, seed=17)
+        assert result.found  # sample is everything
+
+    def test_sim_low_c_enormous(self):
+        _, partition = far_partition(n=200)
+        params = SimLowParams(epsilon=0.3, delta=0.2, c=1000.0)
+        result = find_triangle_sim_low(partition, params, seed=18)
+        assert result.found
+
+    def test_degree_approx_extreme_alpha(self):
+        from repro.comm.coordinator import CoordinatorRuntime
+        from repro.comm.players import make_players
+        from repro.comm.randomness import SharedRandomness
+        from repro.core.degree_approx import approx_degree
+
+        graph = Graph(30, [(0, i) for i in range(1, 21)])
+        partition = partition_disjoint(graph, 3, seed=19)
+        rt = CoordinatorRuntime(make_players(partition), SharedRandomness(20))
+        estimate = approx_degree(
+            rt, 0, DegreeApproxParams(alpha=100.0, experiments_override=8)
+        )
+        assert estimate.value >= 1

@@ -1,0 +1,284 @@
+"""Unit tests for workload generators (repro.graphs.generators)."""
+
+import math
+
+import pytest
+
+from repro.graphs.generators import (
+    bipartite_triangle_free,
+    embed_in_larger_graph,
+    far_instance,
+    gnd,
+    gnp,
+    mu_parts,
+    planted_disjoint_triangles,
+    skewed_hub_graph,
+    triangle_free_degree_spread,
+    tripartite_mu,
+)
+from repro.graphs.triangles import (
+    count_triangles,
+    is_triangle_free,
+    packing_distance_lower_bound,
+)
+
+
+class TestGnp:
+    def test_p_zero_empty(self):
+        assert gnp(50, 0.0, seed=1).num_edges == 0
+
+    def test_p_one_complete(self):
+        graph = gnp(10, 1.0, seed=1)
+        assert graph.num_edges == 45
+
+    def test_expected_edges(self):
+        graph = gnp(200, 0.1, seed=2)
+        expected = 0.1 * 200 * 199 / 2
+        assert 0.7 * expected <= graph.num_edges <= 1.3 * expected
+
+    def test_deterministic(self):
+        assert gnp(50, 0.2, seed=3).edge_set() == gnp(50, 0.2, seed=3).edge_set()
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            gnp(10, 1.5)
+
+    def test_tiny_graph(self):
+        assert gnp(1, 0.5).num_edges == 0
+
+
+class TestGnd:
+    def test_average_degree_close(self):
+        graph = gnd(1000, 8.0, seed=4)
+        assert 6.0 <= graph.average_degree() <= 10.0
+
+    def test_degree_above_n_clamped(self):
+        graph = gnd(5, 100.0, seed=4)
+        assert graph.num_edges == 10  # complete
+
+
+class TestPlantedTriangles:
+    def test_planted_count(self):
+        instance = planted_disjoint_triangles(30, 5, seed=1)
+        assert len(instance.planted_triangles) == 5
+        assert count_triangles(instance.graph) >= 5
+
+    def test_planted_vertex_disjoint(self):
+        instance = planted_disjoint_triangles(60, 10, seed=2)
+        seen: set[int] = set()
+        for triangle in instance.planted_triangles:
+            for v in triangle:
+                assert v not in seen
+                seen.add(v)
+
+    def test_certified_epsilon(self):
+        instance = planted_disjoint_triangles(30, 5, seed=3)
+        assert instance.epsilon_certified == pytest.approx(5 / 15)
+        assert packing_distance_lower_bound(instance.graph) >= 5
+
+    def test_too_many_triangles_rejected(self):
+        with pytest.raises(ValueError):
+            planted_disjoint_triangles(10, 4)
+
+    def test_background_increases_density(self):
+        sparse = planted_disjoint_triangles(90, 5, seed=4)
+        dense = planted_disjoint_triangles(
+            90, 5, seed=4, background_degree=4.0
+        )
+        assert dense.graph.num_edges > sparse.graph.num_edges
+
+
+class TestFarInstance:
+    def test_density_targeted(self):
+        instance = far_instance(600, 6.0, 0.2, seed=5)
+        assert 4.0 <= instance.graph.average_degree() <= 8.0
+
+    def test_farness_certified(self):
+        instance = far_instance(600, 6.0, 0.2, seed=5)
+        assert instance.epsilon_certified >= 0.1
+
+    def test_packing_confirms_certificate(self):
+        instance = far_instance(300, 4.0, 0.3, seed=6)
+        packing = packing_distance_lower_bound(instance.graph)
+        required = instance.epsilon_certified * instance.graph.num_edges
+        assert packing >= required * 0.99
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            far_instance(100, 4.0, 0.0)
+        with pytest.raises(ValueError):
+            far_instance(100, 4.0, 1.5)
+
+
+class TestSkewedHubs:
+    def test_triangles_at_hubs(self):
+        graph = skewed_hub_graph(200, num_hubs=2, vees_per_hub=10, seed=7)
+        assert count_triangles(graph) == 20
+
+    def test_hub_degree_dominates(self):
+        graph = skewed_hub_graph(200, num_hubs=1, vees_per_hub=20, seed=8)
+        degrees = sorted(graph.degrees(), reverse=True)
+        assert degrees[0] == 40  # the hub
+        assert degrees[1] <= 2  # spokes
+
+    def test_too_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            skewed_hub_graph(10, num_hubs=2, vees_per_hub=10)
+
+    def test_zero_hubs_rejected(self):
+        with pytest.raises(ValueError):
+            skewed_hub_graph(100, num_hubs=0, vees_per_hub=5)
+
+
+class TestTripartiteMu:
+    def test_parts_layout(self):
+        parts = mu_parts(10)
+        assert parts.n == 30
+        assert list(parts.u_part) == list(range(10))
+        assert list(parts.v2_part) == list(range(20, 30))
+
+    def test_edges_cross_part_only(self):
+        graph, parts = tripartite_mu(15, gamma=1.5, seed=9)
+        part_of = {}
+        for index, part in enumerate(
+            (parts.u_part, parts.v1_part, parts.v2_part)
+        ):
+            for v in part:
+                part_of[v] = index
+        for u, v in graph.edges():
+            assert part_of[u] != part_of[v]
+
+    def test_edge_count_near_expectation(self):
+        part_size = 40
+        graph, _ = tripartite_mu(part_size, gamma=1.0, seed=10)
+        n = 3 * part_size
+        expected = 3 * part_size * part_size / math.sqrt(n)
+        assert 0.5 * expected <= graph.num_edges <= 1.6 * expected
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            tripartite_mu(10, gamma=0.0)
+
+
+class TestTriangleFreeControls:
+    def test_bipartite_is_free(self):
+        graph = bipartite_triangle_free(200, 5.0, seed=11)
+        assert is_triangle_free(graph)
+
+    def test_bipartite_density(self):
+        graph = bipartite_triangle_free(400, 6.0, seed=12)
+        assert 4.0 <= graph.average_degree() <= 8.0
+
+    def test_spread_is_free(self):
+        graph = triangle_free_degree_spread(500, 6.0, 100, seed=13)
+        assert is_triangle_free(graph)
+
+    def test_spread_reaches_max_degree(self):
+        graph = triangle_free_degree_spread(2000, 8.0, 200, seed=14)
+        assert max(graph.degrees()) >= 150
+
+    def test_spread_covers_buckets(self):
+        graph = triangle_free_degree_spread(2000, 8.0, 100, seed=15)
+        degrees = set(graph.degrees())
+        # Should contain low, medium and high degree vertices.
+        assert any(d <= 3 for d in degrees)
+        assert any(10 <= d <= 50 for d in degrees)
+        assert any(d >= 80 for d in degrees)
+
+
+class TestEmbedding:
+    def test_preserves_triangle_count(self):
+        core = planted_disjoint_triangles(30, 5, seed=16).graph
+        padded = embed_in_larger_graph(core, 300, seed=17)
+        assert count_triangles(padded) == count_triangles(core)
+
+    def test_preserves_edge_count(self):
+        core = gnd(50, 6.0, seed=18)
+        padded = embed_in_larger_graph(core, 500, seed=19)
+        assert padded.num_edges == core.num_edges
+
+    def test_lowers_average_degree(self):
+        core = gnd(50, 6.0, seed=18)
+        padded = embed_in_larger_graph(core, 500, seed=19)
+        assert padded.average_degree() == pytest.approx(
+            core.average_degree() / 10
+        )
+
+    def test_target_too_small_rejected(self):
+        core = gnd(50, 4.0, seed=20)
+        with pytest.raises(ValueError):
+            embed_in_larger_graph(core, 49)
+
+
+class TestPlantedTrianglesAtDegree:
+    def test_triangle_vertices_have_target_degree(self):
+        from repro.graphs.generators import planted_triangles_at_degree
+        from repro.graphs.triangles import iter_triangles
+
+        graph = planted_triangles_at_degree(500, 8, 10, seed=21)
+        for triangle in iter_triangles(graph):
+            for v in triangle:
+                assert graph.degree(v) == 10
+
+    def test_triangle_count(self):
+        from repro.graphs.generators import planted_triangles_at_degree
+        from repro.graphs.triangles import count_triangles
+
+        graph = planted_triangles_at_degree(500, 8, 10, seed=22)
+        assert count_triangles(graph) == 8
+
+    def test_leaves_have_degree_one(self):
+        from repro.graphs.generators import planted_triangles_at_degree
+
+        graph = planted_triangles_at_degree(500, 5, 12, seed=23)
+        degrees = sorted(set(graph.degrees()))
+        assert degrees == [0, 1, 12]
+
+    def test_pins_min_full_bucket(self):
+        from repro.graphs.buckets import bucket_index, min_full_bucket
+        from repro.graphs.generators import planted_triangles_at_degree
+
+        graph = planted_triangles_at_degree(800, 10, 20, seed=24)
+        epsilon = 10 / graph.num_edges
+        assert min_full_bucket(graph, epsilon) == bucket_index(20)
+
+    def test_validation(self):
+        from repro.graphs.generators import planted_triangles_at_degree
+
+        with pytest.raises(ValueError):
+            planted_triangles_at_degree(10, 5, 1)
+        with pytest.raises(ValueError):
+            planted_triangles_at_degree(10, 100, 5)
+
+
+class TestDisjointCliques:
+    def test_uniform_degree(self):
+        from repro.graphs.generators import disjoint_cliques
+
+        graph = disjoint_cliques(200, 9, 4, seed=25)
+        non_isolated = [d for d in graph.degrees() if d > 0]
+        assert set(non_isolated) == {8}
+        assert len(non_isolated) == 36
+
+    def test_edge_count(self):
+        from repro.graphs.generators import disjoint_cliques
+
+        graph = disjoint_cliques(200, 7, 5, seed=26)
+        assert graph.num_edges == 5 * 21
+
+    def test_all_clique_vertices_full(self):
+        from repro.graphs.buckets import is_full_vertex
+        from repro.graphs.generators import disjoint_cliques
+
+        graph = disjoint_cliques(100, 9, 2, seed=27)
+        for v in range(100):
+            if graph.degree(v) > 0:
+                assert is_full_vertex(graph, v, epsilon=0.3)
+
+    def test_validation(self):
+        from repro.graphs.generators import disjoint_cliques
+
+        with pytest.raises(ValueError):
+            disjoint_cliques(10, 2, 1)
+        with pytest.raises(ValueError):
+            disjoint_cliques(10, 6, 3)

@@ -1,0 +1,167 @@
+"""Tests for the information-theory toolkit (repro.lowerbounds.information)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds.information import (
+    bernoulli_kl,
+    binary_entropy,
+    entropy,
+    kl_divergence,
+    lemma_4_3_holds,
+    lemma_4_3_lower_bound,
+    lemma_4_13_bound,
+    mutual_information,
+    mutual_information_from_joint,
+    reported_edge_divergence,
+    superadditivity_gap,
+)
+
+
+class TestEntropy:
+    def test_uniform_two_outcomes(self):
+        assert entropy({0: 0.5, 1: 0.5}) == pytest.approx(1.0)
+
+    def test_deterministic_zero(self):
+        assert entropy({0: 1.0}) == pytest.approx(0.0)
+
+    def test_uniform_n(self):
+        n = 8
+        dist = {i: 1 / n for i in range(n)}
+        assert entropy(dist) == pytest.approx(3.0)
+
+    def test_sequence_input(self):
+        assert entropy([0.25, 0.25, 0.25, 0.25]) == pytest.approx(2.0)
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ValueError):
+            entropy({0: 0.3, 1: 0.3})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            entropy({0: -0.5, 1: 1.5})
+
+    def test_binary_entropy_symmetry(self):
+        assert binary_entropy(0.3) == pytest.approx(binary_entropy(0.7))
+
+    def test_binary_entropy_extremes(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+
+class TestKl:
+    def test_zero_when_equal(self):
+        dist = {0: 0.4, 1: 0.6}
+        assert kl_divergence(dist, dist) == pytest.approx(0.0)
+
+    def test_non_negative(self):
+        mu = {0: 0.9, 1: 0.1}
+        eta = {0: 0.5, 1: 0.5}
+        assert kl_divergence(mu, eta) > 0
+
+    def test_asymmetric(self):
+        mu = {0: 0.9, 1: 0.1}
+        eta = {0: 0.5, 1: 0.5}
+        assert kl_divergence(mu, eta) != pytest.approx(
+            kl_divergence(eta, mu)
+        )
+
+    def test_infinite_on_support_mismatch(self):
+        assert kl_divergence({0: 1.0}, {1: 1.0}) == math.inf
+
+    def test_bernoulli_kl_matches_general(self):
+        assert bernoulli_kl(0.8, 0.3) == pytest.approx(
+            kl_divergence({1: 0.8, 0: 0.2}, {1: 0.3, 0: 0.7})
+        )
+
+    def test_bernoulli_kl_input_validation(self):
+        with pytest.raises(ValueError):
+            bernoulli_kl(1.5, 0.5)
+
+
+class TestMutualInformation:
+    def test_independent_is_zero(self):
+        joint = np.outer([0.3, 0.7], [0.4, 0.6])
+        assert mutual_information_from_joint(joint) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_perfectly_correlated(self):
+        joint = np.array([[0.5, 0.0], [0.0, 0.5]])
+        assert mutual_information_from_joint(joint) == pytest.approx(1.0)
+
+    def test_bounded_by_entropy(self):
+        joint = np.array([[0.3, 0.1], [0.2, 0.4]])
+        mi = mutual_information_from_joint(joint)
+        h_x = entropy(list(joint.sum(axis=1)))
+        assert 0 <= mi <= h_x
+
+    def test_sparse_mapping_form(self):
+        joint = {(0, 0): 0.5, (1, 1): 0.5}
+        assert mutual_information(joint) == pytest.approx(1.0)
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            mutual_information_from_joint(np.ones(4) / 4)
+
+    def test_normalization_validated(self):
+        with pytest.raises(ValueError):
+            mutual_information_from_joint(np.ones((2, 2)))
+
+
+class TestSuperadditivity:
+    def test_gap_non_negative_for_independent_coordinates(self):
+        # X1, X2 iid bits; Y = (X1, X2): the gap is exactly 0 here.
+        joint = {}
+        for x1 in (0, 1):
+            for x2 in (0, 1):
+                joint[((x1, x2), (x1, x2))] = 0.25
+        assert superadditivity_gap(joint) >= -1e-9
+
+    def test_gap_positive_for_xor(self):
+        # Y = X1 xor X2: I(X;Y)=1 but each I(X_i;Y)=0 -> gap 1 (Lemma 4.2).
+        joint = {}
+        for x1 in (0, 1):
+            for x2 in (0, 1):
+                joint[((x1, x2), x1 ^ x2)] = 0.25
+        assert superadditivity_gap(joint) == pytest.approx(1.0)
+
+    def test_empty_joint(self):
+        assert superadditivity_gap({}) == 0.0
+
+
+class TestLemma43:
+    def test_holds_across_grid(self):
+        for p in (0.01, 0.1, 0.3, 0.49):
+            for q in (0.01, 0.2, 0.5, 0.9, 0.99):
+                assert lemma_4_3_holds(q, p)
+
+    def test_bound_formula(self):
+        assert lemma_4_3_lower_bound(0.5, 0.1) == pytest.approx(0.3)
+
+    def test_p_range_enforced(self):
+        with pytest.raises(ValueError):
+            lemma_4_3_holds(0.5, 0.6)
+
+    def test_tight_region_q_equals_2p(self):
+        # At q = 2p the bound is 0 and divergence is non-negative: tight.
+        for p in (0.05, 0.2):
+            assert bernoulli_kl(2 * p, p) >= 0
+
+
+class TestLemma413:
+    def test_reported_edge_expensive(self):
+        # D(9/10 || gamma/sqrt(n)) >= (9/40) log n for small gamma, large n.
+        for n in (256, 4096, 65536):
+            divergence = reported_edge_divergence(n, gamma=0.4)
+            assert divergence >= lemma_4_13_bound(n)
+
+    def test_bound_grows_with_n(self):
+        assert lemma_4_13_bound(4096) > lemma_4_13_bound(256)
+
+    def test_prior_above_posterior_rejected(self):
+        with pytest.raises(ValueError):
+            reported_edge_divergence(4, gamma=10.0)

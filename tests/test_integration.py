@@ -1,0 +1,171 @@
+"""End-to-end integration tests across subsystems."""
+
+import math
+
+import pytest
+
+from repro.comm import CoordinatorRuntime, SharedRandomness, make_players
+from repro.core import (
+    DegreeApproxParams,
+    SimLowParams,
+    UnrestrictedParams,
+    approx_average_degree,
+    check_triangle_freeness,
+    exact_triangle_detection,
+    find_triangle_sim_low,
+    find_triangle_sim_oblivious,
+    find_triangle_unrestricted,
+)
+from repro.graphs import (
+    far_instance,
+    is_epsilon_far_certified,
+    partition_disjoint,
+    partition_with_duplication,
+)
+from repro.lowerbounds import MuDistribution, reduction_partition, sample_bm_instance
+from repro.streaming import ReservoirTriangleFinder, streaming_to_oneway
+
+
+class TestEndToEndTesting:
+    def test_full_pipeline_sparse(self):
+        """Generate -> certify -> partition -> test -> verify witness."""
+        instance = far_instance(1200, 5.0, 0.25, seed=1)
+        assert is_epsilon_far_certified(
+            instance.graph, instance.epsilon_certified * 0.99
+        )
+        partition = partition_disjoint(instance.graph, 5, seed=2)
+        result = find_triangle_sim_low(
+            partition, SimLowParams(epsilon=0.25, delta=0.1), seed=3
+        )
+        assert result.found
+        a, b, c = result.triangle
+        assert instance.graph.has_edge(a, b)
+        assert instance.graph.has_edge(a, c)
+        assert instance.graph.has_edge(b, c)
+        # Testing beats exact by a real margin on this input.
+        exact = exact_triangle_detection(partition)
+        assert result.total_bits < exact.total_bits
+
+    def test_unrestricted_beats_simultaneous_on_found_instances(self):
+        instance = far_instance(900, 5.0, 0.3, seed=4)
+        partition = partition_disjoint(instance.graph, 3, seed=5)
+        params = UnrestrictedParams(
+            epsilon=0.3,
+            delta=0.2,
+            known_average_degree=5.0,
+            samples_per_bucket=24,
+            max_candidates=8,
+            degree_params=DegreeApproxParams(
+                alpha=math.sqrt(3.0), experiments_override=8
+            ),
+        )
+        interactive = find_triangle_unrestricted(partition, params, seed=6)
+        simultaneous = find_triangle_sim_low(
+            partition, SimLowParams(epsilon=0.3, delta=0.2), seed=6
+        )
+        assert interactive.found and simultaneous.found
+        # Interaction's early exit is cheaper than the one-shot protocol.
+        assert interactive.total_bits < simultaneous.total_bits
+
+    def test_degree_estimation_feeds_protocol(self):
+        """Corollary 3.22 flow: estimate d, then test, on one runtime."""
+        instance = far_instance(500, 6.0, 0.3, seed=7)
+        partition = partition_with_duplication(instance.graph, 4, seed=8)
+        rt = CoordinatorRuntime(
+            make_players(partition), SharedRandomness(9)
+        )
+        estimate = approx_average_degree(
+            rt, DegreeApproxParams(alpha=2.0, experiments_override=24)
+        )
+        true = instance.graph.average_degree()
+        assert true / 6 <= estimate <= 6 * true
+
+    def test_wrapper_agrees_with_direct_calls(self):
+        instance = far_instance(700, 5.0, 0.3, seed=10)
+        partition = partition_disjoint(instance.graph, 3, seed=11)
+        wrapper = check_triangle_freeness(
+            partition, protocol="sim-low", seed=12, epsilon=0.3, delta=0.1
+        )
+        direct = find_triangle_sim_low(
+            partition, SimLowParams(epsilon=0.3, delta=0.1), seed=12
+        )
+        assert wrapper == direct.verdict_triangle_free()
+
+
+class TestLowerBoundPipelines:
+    def test_mu_to_streaming_chain(self):
+        """µ sample -> 3-player split -> streaming chain -> triangle edge."""
+        mu = MuDistribution(part_size=40, gamma=1.5)
+        sample = mu.sample(seed=1)
+        run = streaming_to_oneway(
+            sample.partition,
+            lambda: ReservoirTriangleFinder(
+                sample.graph.n, reservoir_size=400, seed=2
+            ),
+        )
+        if run.output is not None:
+            a, b, c = run.output
+            assert sample.graph.has_edge(a, b)
+            assert sample.graph.has_edge(b, c)
+            assert sample.graph.has_edge(a, c)
+
+    def test_bm_reduction_through_protocols(self):
+        """BM instances flow through the standard protocol interface."""
+        zeros = reduction_partition(
+            sample_bm_instance(30, "zeros", seed=3), k=4
+        )
+        ones = reduction_partition(
+            sample_bm_instance(30, "ones", seed=3), k=4
+        )
+        assert not check_triangle_freeness(zeros, protocol="exact")
+        assert check_triangle_freeness(ones, protocol="exact")
+        # The oblivious tester also never errs on the triangle-free side.
+        assert check_triangle_freeness(ones, protocol="sim-oblivious", seed=4)
+
+    def test_mu_hardness_for_cheap_protocols(self):
+        """On µ, a budget-starved simultaneous protocol finds triangles
+        rarely, while generous budgets succeed — the qualitative content
+        of the Omega((nd)^{1/3}) bound."""
+        mu = MuDistribution(part_size=50, gamma=1.3)
+        starved_hits = 0
+        generous_hits = 0
+        trials = 6
+        for seed in range(trials):
+            sample = mu.sample(seed=seed)
+            from repro.graphs.triangles import is_triangle_free
+
+            if is_triangle_free(sample.graph):
+                continue
+            starved = find_triangle_sim_low(
+                sample.partition,
+                SimLowParams(epsilon=0.2, delta=0.2, c=0.15),
+                seed=seed,
+            )
+            generous = find_triangle_sim_low(
+                sample.partition,
+                SimLowParams(epsilon=0.2, delta=0.2, c=6.0),
+                seed=seed,
+            )
+            starved_hits += starved.found
+            generous_hits += generous.found
+        assert generous_hits > starved_hits
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        instance = far_instance(400, 5.0, 0.3, seed=13)
+        partition = partition_disjoint(instance.graph, 3, seed=14)
+        first = find_triangle_sim_oblivious(partition, seed=15)
+        second = find_triangle_sim_oblivious(partition, seed=15)
+        assert first.found == second.found
+        assert first.triangle == second.triangle
+        assert first.total_bits == second.total_bits
+
+    def test_different_seed_may_differ_but_stays_correct(self):
+        instance = far_instance(400, 5.0, 0.3, seed=16)
+        partition = partition_disjoint(instance.graph, 3, seed=17)
+        for seed in range(4):
+            result = find_triangle_sim_low(partition, seed=seed)
+            if result.found:
+                a, b, c = result.triangle
+                assert instance.graph.has_edge(a, b)

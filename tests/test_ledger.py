@@ -1,0 +1,129 @@
+"""Unit tests for communication accounting (repro.comm.ledger)."""
+
+import pytest
+
+from repro.comm.ledger import COORDINATOR, CommunicationLedger, MessageRecord
+
+
+class TestMessageRecord:
+    def test_fields(self):
+        record = MessageRecord(sender=1, receiver=COORDINATOR, bits=8)
+        assert record.sender == 1
+        assert record.bits == 8
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            MessageRecord(sender=0, receiver=COORDINATOR, bits=-1)
+
+    def test_zero_bits_allowed(self):
+        assert MessageRecord(0, COORDINATOR, 0).bits == 0
+
+
+class TestLedgerTotals:
+    def test_empty_ledger(self):
+        ledger = CommunicationLedger()
+        assert ledger.total_bits == 0
+        assert ledger.rounds == 0
+
+    def test_upstream_counted(self):
+        ledger = CommunicationLedger()
+        ledger.charge_upstream(0, 10)
+        ledger.charge_upstream(1, 5)
+        assert ledger.total_bits == 15
+        assert ledger.upstream_bits == 15
+        assert ledger.downstream_bits == 0
+
+    def test_downstream_counted(self):
+        ledger = CommunicationLedger()
+        ledger.charge_downstream(0, 7)
+        assert ledger.downstream_bits == 7
+        assert ledger.upstream_bits == 0
+
+    def test_broadcast_charges_per_player(self):
+        ledger = CommunicationLedger()
+        ledger.charge_broadcast(4, 3)
+        assert ledger.total_bits == 12
+        assert ledger.downstream_bits == 12
+
+    def test_rounds_counted(self):
+        ledger = CommunicationLedger()
+        ledger.begin_round()
+        ledger.begin_round()
+        assert ledger.rounds == 2
+
+    def test_player_bits_upstream_only(self):
+        ledger = CommunicationLedger()
+        ledger.charge_upstream(2, 9)
+        ledger.charge_downstream(2, 100)
+        assert ledger.player_bits(2) == 9
+
+    def test_player_bits_separates_players(self):
+        ledger = CommunicationLedger()
+        ledger.charge_upstream(0, 4)
+        ledger.charge_upstream(1, 6)
+        assert ledger.player_bits(0) == 4
+        assert ledger.player_bits(1) == 6
+        assert ledger.player_bits(2) == 0
+
+
+class TestLabels:
+    def test_explicit_label(self):
+        ledger = CommunicationLedger()
+        ledger.charge_upstream(0, 5, label="phase1")
+        summary = ledger.summary()
+        assert summary.bits_by_label["phase1"] == 5
+
+    def test_scope_labels_messages(self):
+        ledger = CommunicationLedger()
+        with ledger.scope("sampling"):
+            ledger.charge_upstream(0, 3)
+            ledger.charge_downstream(1, 2)
+        summary = ledger.summary()
+        assert summary.bits_by_label["sampling"] == 5
+
+    def test_nested_scopes_use_innermost(self):
+        ledger = CommunicationLedger()
+        with ledger.scope("outer"):
+            with ledger.scope("inner"):
+                ledger.charge_upstream(0, 1)
+            ledger.charge_upstream(0, 2)
+        summary = ledger.summary()
+        assert summary.bits_by_label["inner"] == 1
+        assert summary.bits_by_label["outer"] == 2
+
+    def test_unlabelled_grouped(self):
+        ledger = CommunicationLedger()
+        ledger.charge_upstream(0, 4)
+        assert ledger.summary().bits_by_label["(unlabelled)"] == 4
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        ledger = CommunicationLedger()
+        ledger.begin_round()
+        ledger.charge_downstream(0, 2)
+        ledger.charge_upstream(0, 8)
+        summary = ledger.summary()
+        assert summary.total_bits == 10
+        assert summary.upstream_bits == 8
+        assert summary.downstream_bits == 2
+        assert summary.rounds == 1
+        assert summary.messages == 2
+
+    def test_bits_by_player_excludes_coordinator(self):
+        ledger = CommunicationLedger()
+        ledger.charge_upstream(0, 5)
+        ledger.charge_downstream(0, 7)
+        assert ledger.summary().bits_by_player == {0: 5}
+
+    def test_records_immutable_view(self):
+        ledger = CommunicationLedger()
+        ledger.charge_upstream(0, 1)
+        records = ledger.records
+        assert len(records) == 1
+        assert isinstance(records, tuple)
+
+    def test_str_contains_totals(self):
+        ledger = CommunicationLedger()
+        ledger.charge_upstream(0, 3)
+        assert "total=3b" in str(ledger.summary())

@@ -1,0 +1,126 @@
+"""Tests: the Section 3.2 lemma chain holds on generated instances."""
+
+import pytest
+
+from repro.graphs.generators import (
+    bipartite_triangle_free,
+    far_instance,
+    planted_disjoint_triangles,
+    skewed_hub_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.lemmas import (
+    check_all,
+    check_corollary_3_6,
+    check_lemma_3_4,
+    check_lemma_3_7,
+    check_lemma_3_9,
+    check_lemma_3_11,
+    check_lemma_3_12,
+)
+
+
+@pytest.fixture(scope="module")
+def far():
+    instance = far_instance(300, 5.0, 0.3, seed=1)
+    return instance.graph, instance.epsilon_certified
+
+
+@pytest.fixture(scope="module")
+def hubs():
+    return skewed_hub_graph(400, num_hubs=3, vees_per_hub=25, seed=2)
+
+
+class TestChainOnFarInstances:
+    def test_all_checks_hold_on_planted(self, far):
+        graph, epsilon = far
+        for check in check_all(graph, epsilon, seed=3):
+            assert check.holds, str(check)
+
+    def test_all_checks_hold_on_hub_instance(self, hubs):
+        for check in check_all(hubs, 0.3, seed=4):
+            assert check.holds, str(check)
+
+    def test_all_checks_hold_on_dense_far(self):
+        instance = far_instance(200, 14.0, 0.25, seed=5)
+        for check in check_all(
+            instance.graph, instance.epsilon_certified, seed=6
+        ):
+            assert check.holds, str(check)
+
+    def test_vacuous_on_triangle_free(self):
+        control = bipartite_triangle_free(200, 5.0, seed=7)
+        for check in check_all(control, 0.2, seed=8):
+            assert check.holds, str(check)
+
+
+class TestIndividualLemmas:
+    def test_lemma_3_4_upper_universal(self, hubs):
+        # The upper bound holds for every bucket, full or not.
+        from repro.graphs.buckets import buckets
+
+        for bucket in buckets(hubs):
+            if bucket == 0:
+                continue
+            check = check_lemma_3_4(hubs, bucket, 0.3)
+            assert check.holds, str(check)
+
+    def test_corollary_3_6_full_bucket(self, far):
+        graph, epsilon = far
+        from repro.graphs.buckets import full_buckets
+
+        for bucket in full_buckets(graph, epsilon):
+            check = check_corollary_3_6(graph, bucket, epsilon)
+            assert check.holds, str(check)
+            assert check.lhs > 0  # non-vacuous: full vertices exist
+
+    def test_lemma_3_7_full_bucket(self, far):
+        graph, epsilon = far
+        from repro.graphs.buckets import full_buckets
+
+        for bucket in full_buckets(graph, epsilon):
+            check = check_lemma_3_7(graph, bucket, epsilon)
+            assert check.holds, str(check)
+
+    def test_lemma_3_9_at_hub(self, hubs):
+        hub = max(range(hubs.n), key=hubs.degree)
+        check = check_lemma_3_9(hubs, hub, trials=40, seed=9)
+        assert check.holds, str(check)
+        assert check.lhs > 0  # non-vacuous: vees found empirically
+
+    def test_lemma_3_9_vacuous_without_vees(self):
+        path = Graph(10, [(i, i + 1) for i in range(9)])
+        check = check_lemma_3_9(path, 5)
+        assert check.holds
+        assert "vacuous" in check.note
+
+    def test_lemma_3_11_low_degree_vees(self, far):
+        graph, epsilon = far
+        check = check_lemma_3_11(graph, epsilon)
+        assert check.holds, str(check)
+
+    def test_lemma_3_12_brackets_bmin(self, far):
+        graph, epsilon = far
+        check = check_lemma_3_12(graph, epsilon)
+        assert check.holds, str(check)
+        assert "B_min" in check.note
+
+    def test_lemma_3_12_vacuous_without_full_bucket(self):
+        control = bipartite_triangle_free(100, 4.0, seed=10)
+        check = check_lemma_3_12(control, 0.2)
+        assert check.holds
+        assert "vacuous" in check.note
+
+
+class TestCheckReporting:
+    def test_str_format(self, far):
+        graph, epsilon = far
+        check = check_lemma_3_11(graph, epsilon)
+        assert "Lemma 3.11" in str(check)
+        assert "ok" in str(check) or "VIOLATED" in str(check)
+
+    def test_heavily_planted_instance_stays_consistent(self):
+        # Maximal farness: nothing but triangles.
+        instance = planted_disjoint_triangles(90, 30, seed=11)
+        for check in check_all(instance.graph, 1.0 / 3.0, seed=12):
+            assert check.holds, str(check)

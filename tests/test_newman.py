@@ -1,0 +1,90 @@
+"""Tests for the executable Newman's theorem (repro.comm.newman)."""
+
+import pytest
+
+from repro.comm.encoding import bits_for_universe
+from repro.comm.newman import (
+    build_pool,
+    estimate_pool_error,
+    pool_size,
+)
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+from repro.graphs.generators import far_instance
+from repro.graphs.partition import partition_disjoint
+
+
+class TestPoolSize:
+    def test_formula_monotonicity(self):
+        assert pool_size(0.1, 0.05) > pool_size(0.2, 0.05)
+        assert pool_size(0.1, 0.01) > pool_size(0.1, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pool_size(0.0, 0.1)
+        with pytest.raises(ValueError):
+            pool_size(0.1, 1.0)
+
+
+class TestBuildPool:
+    def test_deterministic(self):
+        assert build_pool(4, master_seed=7).seeds == build_pool(
+            4, master_seed=7
+        ).seeds
+
+    def test_size_matches_formula(self):
+        pool = build_pool(4, gamma=0.2, delta_prime=0.1)
+        assert pool.size == pool_size(0.2, 0.1)
+
+    def test_announcement_cost_k_log_t(self):
+        pool = build_pool(6, gamma=0.2, delta_prime=0.1)
+        assert pool.announcement_bits == 6 * bits_for_universe(pool.size)
+
+    def test_choose_deterministic_per_private_seed(self):
+        pool = build_pool(3, master_seed=1)
+        assert pool.choose(42) == pool.choose(42)
+        assert pool.choose(42) in pool.seeds
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            build_pool(0)
+
+
+class TestErrorPreservation:
+    def test_pool_error_small_on_real_protocol(self):
+        """Running sim-low with pool seeds only keeps detection high."""
+        pool = build_pool(3, gamma=0.25, delta_prime=0.1, master_seed=3)
+        params = SimLowParams(epsilon=0.25, delta=0.1)
+
+        inputs = []
+        for seed in range(3):
+            instance = far_instance(600, 5.0, 0.25, seed=seed)
+            inputs.append(
+                partition_disjoint(instance.graph, 3, seed=seed + 10)
+            )
+
+        def run(partition, seed):
+            return find_triangle_sim_low(
+                partition, params, seed=seed % (2 ** 31)
+            ).found
+
+        worst_error = estimate_pool_error(pool, run, inputs)
+        # Public-coin error is ~delta = 0.1; Newman allows +gamma = 0.25.
+        assert worst_error <= 0.1 + 0.25 + 0.05
+
+    def test_empty_inputs_rejected(self):
+        pool = build_pool(3)
+        with pytest.raises(ValueError):
+            estimate_pool_error(pool, lambda i, s: True, [])
+
+    def test_perfect_protocol_zero_error(self):
+        pool = build_pool(3, master_seed=5)
+        assert estimate_pool_error(
+            pool, lambda i, s: True, [object(), object()]
+        ) == 0.0
+
+    def test_announcement_is_olog_n_per_player(self):
+        # With constant gamma/delta' the pool is constant-size: the
+        # announcement is O(k), well within the paper's O(k log n) remark.
+        for k in (3, 10, 50):
+            pool = build_pool(k, gamma=0.1, delta_prime=0.05)
+            assert pool.announcement_bits <= k * 16

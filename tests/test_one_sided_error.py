@@ -1,0 +1,125 @@
+"""One-sided error: no protocol ever reports a triangle on a triangle-free
+input — the paper's blanket guarantee for every Section 3 algorithm.
+
+These tests sweep protocols x triangle-free input families x seeds and
+require *zero* false positives, plus witness-validity checks on far inputs
+(any reported triangle must exist in the graph, even when the farness
+promise is broken).
+"""
+
+import math
+
+import pytest
+
+from repro.core.degree_approx import DegreeApproxParams
+from repro.core.exact_baseline import exact_triangle_detection
+from repro.core.oblivious import ObliviousParams, find_triangle_sim_oblivious
+from repro.core.simultaneous_high import SimHighParams, find_triangle_sim_high
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+from repro.core.unrestricted import (
+    UnrestrictedParams,
+    find_triangle_unrestricted,
+)
+from repro.graphs.generators import (
+    bipartite_triangle_free,
+    gnd,
+    triangle_free_degree_spread,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.partition import (
+    partition_disjoint,
+    partition_with_duplication,
+)
+from repro.graphs.triangles import is_triangle_free
+
+
+def triangle_free_inputs():
+    yield "bipartite", bipartite_triangle_free(300, 6.0, seed=1)
+    yield "spread", triangle_free_degree_spread(300, 6.0, 60, seed=2)
+    yield "path", Graph(100, [(i, i + 1) for i in range(99)])
+    yield "star", Graph(100, [(0, i) for i in range(1, 100)])
+    yield "empty", Graph(50)
+
+
+UNRESTRICTED_FAST = UnrestrictedParams(
+    epsilon=0.3,
+    delta=0.2,
+    samples_per_bucket=12,
+    max_candidates=6,
+    degree_params=DegreeApproxParams(
+        alpha=math.sqrt(3.0), tau=0.2, experiments_override=6
+    ),
+)
+
+
+def protocols():
+    yield "sim-low", lambda partition, seed: find_triangle_sim_low(
+        partition, SimLowParams(epsilon=0.3, delta=0.2), seed=seed
+    )
+    yield "sim-high", lambda partition, seed: find_triangle_sim_high(
+        partition, SimHighParams(epsilon=0.3, delta=0.2), seed=seed
+    )
+    yield "oblivious", lambda partition, seed: find_triangle_sim_oblivious(
+        partition, ObliviousParams(epsilon=0.3, delta=0.2), seed=seed
+    )
+    yield "unrestricted", lambda partition, seed: (
+        find_triangle_unrestricted(partition, UNRESTRICTED_FAST, seed=seed)
+    )
+    yield "exact", lambda partition, seed: exact_triangle_detection(
+        partition
+    )
+
+
+@pytest.mark.parametrize(
+    "input_name,graph",
+    list(triangle_free_inputs()),
+    ids=[name for name, _ in triangle_free_inputs()],
+)
+@pytest.mark.parametrize(
+    "protocol_name,protocol",
+    list(protocols()),
+    ids=[name for name, _ in protocols()],
+)
+def test_no_false_positives(input_name, graph, protocol_name, protocol):
+    assert is_triangle_free(graph)
+    for k, seed in ((2, 0), (4, 1)):
+        partition = partition_disjoint(graph, k, seed=seed)
+        result = protocol(partition, seed)
+        assert not result.found, (
+            f"{protocol_name} reported a triangle on triangle-free "
+            f"{input_name} input (k={k}, seed={seed})"
+        )
+        assert result.triangle is None
+
+
+@pytest.mark.parametrize(
+    "protocol_name,protocol",
+    list(protocols()),
+    ids=[name for name, _ in protocols()],
+)
+def test_no_false_positives_under_duplication(protocol_name, protocol):
+    graph = bipartite_triangle_free(200, 6.0, seed=3)
+    partition = partition_with_duplication(
+        graph, 4, seed=4, duplication_probability=0.6
+    )
+    for seed in range(3):
+        assert not protocol(partition, seed).found
+
+
+@pytest.mark.parametrize(
+    "protocol_name,protocol",
+    list(protocols()),
+    ids=[name for name, _ in protocols()],
+)
+def test_witness_always_real_without_promise(protocol_name, protocol):
+    """Even on inputs far from the promise (a random graph with few
+    triangles), any reported triangle must genuinely exist."""
+    graph = gnd(200, 4.0, seed=5)
+    partition = partition_disjoint(graph, 3, seed=6)
+    for seed in range(3):
+        result = protocol(partition, seed)
+        if result.found:
+            a, b, c = result.triangle
+            assert graph.has_edge(a, b)
+            assert graph.has_edge(a, c)
+            assert graph.has_edge(b, c)

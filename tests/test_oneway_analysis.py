@@ -1,0 +1,155 @@
+"""Tests for the Theorem 4.7 one-way transcript analysis."""
+
+import pytest
+
+from repro.lowerbounds.covered import analyze_player, truncation_message
+from repro.lowerbounds.oneway_analysis import (
+    analyze_transcript,
+    coverage_bound_rhs,
+    delta_plus_sum,
+    expected_transcript_stats,
+)
+
+PART = 2
+PRIOR = 0.35
+U_PART = list(range(PART))
+ALICE_UNIVERSE = [(u, v1) for u in U_PART for v1 in range(PART)]
+BOB_UNIVERSE = [(u, v2) for u in U_PART for v2 in range(PART)]
+PAIRS = [(v1, v2) for v1 in range(PART) for v2 in range(PART)]
+
+
+def analyses(budget: int):
+    alice = analyze_player(ALICE_UNIVERSE, PRIOR, truncation_message(budget))
+    bob = analyze_player(BOB_UNIVERSE, PRIOR, truncation_message(budget))
+    return alice, bob
+
+
+class TestDeltaPlus:
+    def test_zero_budget_zero_spend(self):
+        alice, _ = analyses(0)
+        (message,) = alice.messages()
+        assert delta_plus_sum(alice, message) == 0.0
+
+    def test_full_budget_spend_counts_revealed_edges(self):
+        alice, _ = analyses(4)
+        message = ((0, 0), (1, 1))
+        # Revealed edges have posterior 1 -> Δ⁺ = 1 - 2·0.35 = 0.3 each;
+        # absent edges have posterior 0 -> clipped to 0.
+        assert delta_plus_sum(alice, message) == pytest.approx(0.6)
+
+    def test_non_negative(self):
+        alice, _ = analyses(2)
+        for message in alice.message_probabilities:
+            assert delta_plus_sum(alice, message) >= 0.0
+
+
+class TestAnalyzeTranscript:
+    def test_probability_is_product(self):
+        alice, bob = analyses(1)
+        m1 = next(iter(alice.message_probabilities))
+        m2 = next(iter(bob.message_probabilities))
+        stats = analyze_transcript(alice, bob, m1, m2, PAIRS, U_PART)
+        assert stats.probability == pytest.approx(
+            alice.message_probabilities[m1] * bob.message_probabilities[m2]
+        )
+
+    def test_zero_budget_stats(self):
+        alice, bob = analyses(0)
+        (m1,) = alice.messages()
+        (m2,) = bob.messages()
+        stats = analyze_transcript(alice, bob, m1, m2, PAIRS, U_PART)
+        assert stats.covered_count == 0
+        assert stats.delta_plus_total == 0.0
+        base = len(PAIRS) * (1 - (1 - PRIOR ** 2) ** PART)
+        assert stats.cover_mass == pytest.approx(base)
+
+    def test_full_budget_rich_transcript(self):
+        alice, bob = analyses(4)
+        m1 = ((0, 0), (1, 0))  # Alice: vee arms at both u's toward v1=0
+        m2 = ((0, 0), (1, 0))  # Bob: same toward v2=0
+        stats = analyze_transcript(alice, bob, m1, m2, PAIRS, U_PART)
+        assert stats.covered_count == 1  # (v1=0, v2=0), with certainty
+        assert stats.cover_mass == pytest.approx(1.0)
+
+
+class TestExpectedStats:
+    def test_cover_mass_invariant_in_budget(self):
+        """Tower rule: E[cover mass] must not depend on the budget."""
+        masses = []
+        for budget in (0, 2, 4):
+            alice, bob = analyses(budget)
+            _, mass, _ = expected_transcript_stats(
+                alice, bob, PAIRS, U_PART
+            )
+            masses.append(mass)
+        assert masses[0] == pytest.approx(masses[1], abs=1e-9)
+        assert masses[1] == pytest.approx(masses[2], abs=1e-9)
+
+    def test_covered_count_grows_with_budget(self):
+        counts = []
+        for budget in (0, 1, 4):
+            alice, bob = analyses(budget)
+            _, _, count = expected_transcript_stats(
+                alice, bob, PAIRS, U_PART
+            )
+            counts.append(count)
+        assert counts[0] == 0.0
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_delta_spend_grows_with_budget(self):
+        deltas = []
+        for budget in (0, 1, 4):
+            alice, bob = analyses(budget)
+            delta, _, _ = expected_transcript_stats(
+                alice, bob, PAIRS, U_PART
+            )
+            deltas.append(delta)
+        assert deltas[0] == 0.0
+        assert deltas[-1] > deltas[1] > 0.0
+
+
+class TestCoverageBound:
+    @pytest.mark.parametrize("budget", [0, 1, 2, 4])
+    def test_cover_mass_within_bound_every_transcript(self, budget):
+        """The union-bound coverage inequality is a theorem: it must hold
+        for every transcript of every protocol."""
+        alice, bob = analyses(budget)
+        for m1 in alice.message_probabilities:
+            for m2 in bob.message_probabilities:
+                stats = analyze_transcript(
+                    alice, bob, m1, m2, PAIRS, U_PART
+                )
+                bound = coverage_bound_rhs(
+                    stats.delta_plus_alice, stats.delta_plus_bob,
+                    PRIOR, PART, PART, PART,
+                )
+                assert stats.cover_mass <= bound + 1e-9, (
+                    f"budget={budget} m1={m1} m2={m2}: "
+                    f"{stats.cover_mass} > {bound}"
+                )
+
+    @pytest.mark.parametrize("prior", [0.1, 0.25, 0.45])
+    def test_bound_holds_across_priors(self, prior):
+        alice = analyze_player(ALICE_UNIVERSE, prior, truncation_message(2))
+        bob = analyze_player(BOB_UNIVERSE, prior, truncation_message(2))
+        for m1 in alice.message_probabilities:
+            for m2 in bob.message_probabilities:
+                stats = analyze_transcript(
+                    alice, bob, m1, m2, PAIRS, U_PART
+                )
+                bound = coverage_bound_rhs(
+                    stats.delta_plus_alice, stats.delta_plus_bob,
+                    prior, PART, PART, PART,
+                )
+                assert stats.cover_mass <= bound + 1e-9
+
+    def test_quadratic_term_dominates_for_large_delta(self):
+        small = coverage_bound_rhs(0.5, 0.5, 0.01, 10, 10, 10)
+        large = coverage_bound_rhs(5.0, 5.0, 0.01, 10, 10, 10)
+        # 10x delta -> ~100x leading term.
+        assert large / small > 30
+
+    def test_rhs_monotone(self):
+        assert coverage_bound_rhs(
+            2.0, 2.0, PRIOR, PART, PART, PART
+        ) > coverage_bound_rhs(1.0, 1.0, PRIOR, PART, PART, PART)

@@ -1,0 +1,192 @@
+"""Property-based tests for the posterior, streaming, and pattern machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.encoding import edge_bits
+from repro.lowerbounds.covered import (
+    analyze_player,
+    expected_total_divergence,
+    message_entropy_bits,
+    truncation_message,
+)
+from repro.lowerbounds.oneway_analysis import delta_plus_sum
+from repro.streaming.stream import run_stream
+from repro.streaming.triangle_stream import ReservoirTriangleFinder
+
+UNIVERSE = [(u, v) for u in range(2) for v in range(2)]
+
+
+class TestPosteriorProperties:
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_message_probabilities_normalized(self, prior, budget):
+        analysis = analyze_player(
+            UNIVERSE, prior, truncation_message(budget)
+        )
+        total = sum(analysis.message_probabilities.values())
+        assert abs(total - 1.0) < 1e-9
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_posteriors_in_unit_interval(self, prior, budget):
+        analysis = analyze_player(
+            UNIVERSE, prior, truncation_message(budget)
+        )
+        for message in analysis.message_probabilities:
+            for item in UNIVERSE:
+                posterior = analysis.posterior(message, item)
+                assert -1e-12 <= posterior <= 1.0 + 1e-12
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tower_property(self, prior, budget):
+        """Σ_m P(m)·posterior(m, e) = prior, for every edge."""
+        analysis = analyze_player(
+            UNIVERSE, prior, truncation_message(budget)
+        )
+        for item in UNIVERSE:
+            mean_posterior = sum(
+                probability * analysis.posterior(message, item)
+                for message, probability in (
+                    analysis.message_probabilities.items()
+                )
+            )
+            assert abs(mean_posterior - prior) < 1e-9
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_information_bound_universal(self, prior, budget):
+        """Lemma 4.6 / super-additivity at every prior and budget."""
+        analysis = analyze_player(
+            UNIVERSE, prior, truncation_message(budget)
+        )
+        assert expected_total_divergence(analysis) <= (
+            message_entropy_bits(analysis) + 1e-9
+        )
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.45),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_delta_plus_bounded_by_universe(self, prior, budget):
+        analysis = analyze_player(
+            UNIVERSE, prior, truncation_message(budget)
+        )
+        for message in analysis.message_probabilities:
+            spend = delta_plus_sum(analysis, message)
+            assert 0.0 <= spend <= len(UNIVERSE)
+
+
+class TestStreamingProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=19),
+                st.integers(min_value=0, max_value=19),
+            ).filter(lambda edge: edge[0] != edge[1]),
+            max_size=60,
+        ),
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reservoir_space_never_exceeds_cap(self, edges, reservoir, seed):
+        finder = ReservoirTriangleFinder(20, reservoir, seed=seed)
+        run = run_stream(finder, edges)
+        assert run.peak_space_bits <= (reservoir + 1) * edge_bits(20)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=9),
+            ).filter(lambda edge: edge[0] != edge[1]),
+            max_size=40,
+        ),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reservoir_result_is_genuine_triangle(self, edges, seed):
+        """One-sided: any reported triangle's edges appeared in the stream."""
+        from repro.graphs.graph import canonical_edge
+
+        finder = ReservoirTriangleFinder(10, 8, seed=seed)
+        run = run_stream(finder, edges)
+        if run.result is not None:
+            seen = {canonical_edge(u, v) for u, v in edges}
+            a, b, c = run.result
+            assert {(a, b), (a, c), (b, c)} <= seen
+
+
+class TestPatternProperties:
+    @given(st.integers(min_value=3, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_clique_contains_all_smaller_cycles(self, size):
+        from repro.core.subgraph_detection import (
+            FOUR_CYCLE,
+            TRIANGLE,
+            find_copy_among,
+        )
+
+        clique_edges = [
+            (u, v) for u in range(size) for v in range(u + 1, size)
+        ]
+        assert find_copy_among(clique_edges, TRIANGLE) is not None
+        if size >= 4:
+            assert find_copy_among(clique_edges, FOUR_CYCLE) is not None
+
+    @given(st.integers(min_value=2, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_path_contains_no_cycle_patterns(self, length):
+        from repro.core.subgraph_detection import (
+            FIVE_CYCLE,
+            FOUR_CYCLE,
+            TRIANGLE,
+            find_copy_among,
+        )
+
+        path_edges = [(i, i + 1) for i in range(length)]
+        for pattern in (TRIANGLE, FOUR_CYCLE, FIVE_CYCLE):
+            assert find_copy_among(path_edges, pattern) is None
+
+
+class TestMessagePassingProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=1, max_value=100),
+            ).filter(lambda m: m[0] != m[1]),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_coordinator_simulation_overhead_formula(self, messages):
+        from repro.comm.messagepassing import (
+            MessagePassingRecord,
+            coordinator_cost_of_transcript,
+        )
+        from repro.comm.encoding import bits_for_universe
+
+        k = 6
+        transcript = [
+            MessagePassingRecord(s, r, None, b) for s, r, b in messages
+        ]
+        cost = coordinator_cost_of_transcript(transcript, k)
+        direct = sum(b for _, _, b in messages)
+        assert cost == 2 * direct + len(messages) * bits_for_universe(k)

@@ -1,0 +1,160 @@
+"""Tests for the query-model substrate (repro.testing)."""
+
+import pytest
+
+from repro.graphs.generators import far_instance, gnd
+from repro.graphs.graph import Graph
+from repro.testing.oracle import QueryBudgetExceeded, QueryOracle
+from repro.testing.testers import (
+    dense_triple_tester,
+    induced_sample_tester,
+    sparse_vee_tester,
+)
+
+
+@pytest.fixture
+def graph() -> Graph:
+    return gnd(100, 6.0, seed=1)
+
+
+class TestOracle:
+    def test_edge_query(self, graph):
+        oracle = QueryOracle(graph)
+        edge = next(iter(graph.edges()))
+        assert oracle.edge_query(*edge)
+        assert oracle.counter.edge_queries == 1
+
+    def test_degree_query(self, graph):
+        oracle = QueryOracle(graph)
+        v = max(range(100), key=graph.degree)
+        assert oracle.degree_query(v) == graph.degree(v)
+        assert oracle.counter.degree_queries == 1
+
+    def test_neighbor_query_sorted(self, graph):
+        oracle = QueryOracle(graph)
+        v = max(range(100), key=graph.degree)
+        neighbours = sorted(graph.neighbors(v))
+        assert oracle.neighbor_query(v, 0) == neighbours[0]
+        assert oracle.neighbor_query(v, len(neighbours)) is None
+
+    def test_total_counter(self, graph):
+        oracle = QueryOracle(graph)
+        oracle.edge_query(0, 1)
+        oracle.degree_query(0)
+        oracle.neighbor_query(0, 0)
+        assert oracle.counter.total == 3
+
+    def test_budget_enforced(self, graph):
+        oracle = QueryOracle(graph, budget=2)
+        oracle.edge_query(0, 1)
+        oracle.edge_query(0, 2)
+        with pytest.raises(QueryBudgetExceeded):
+            oracle.edge_query(0, 3)
+
+    def test_log_recorded(self, graph):
+        oracle = QueryOracle(graph, record_log=True)
+        oracle.edge_query(0, 1)
+        assert oracle.counter.log == [("edge", 0, 1)]
+
+
+class TestDenseTester:
+    def test_detects_dense_far_graph(self):
+        # Dense instance: many triangles, triples have a real chance.
+        graph = gnd(60, 30.0, seed=2)
+        oracle = QueryOracle(graph)
+        result = dense_triple_tester(oracle, num_triples=3000, seed=3)
+        assert result.found
+
+    def test_one_sided(self):
+        graph = Graph(30, [(i, i + 1) for i in range(29)])
+        oracle = QueryOracle(graph)
+        result = dense_triple_tester(oracle, num_triples=500, seed=4)
+        assert not result.found
+
+    def test_queries_counted(self):
+        graph = gnd(50, 5.0, seed=5)
+        oracle = QueryOracle(graph)
+        result = dense_triple_tester(oracle, num_triples=100, seed=6)
+        assert result.queries == oracle.counter.total
+        assert result.queries <= 300
+
+    def test_tiny_graph(self):
+        oracle = QueryOracle(Graph(2, [(0, 1)]))
+        assert not dense_triple_tester(oracle, 10).found
+
+
+class TestInducedSampleTester:
+    def test_quadratic_query_cost(self):
+        graph = gnd(200, 10.0, seed=7)
+        oracle = QueryOracle(graph)
+        sample_size = 30
+        induced_sample_tester(oracle, sample_size, seed=8)
+        assert oracle.counter.edge_queries == (
+            sample_size * (sample_size - 1) // 2
+        )
+
+    def test_detects_with_large_sample(self):
+        instance = far_instance(100, 10.0, 0.3, seed=9)
+        oracle = QueryOracle(instance.graph)
+        result = induced_sample_tester(oracle, 70, seed=10)
+        assert result.found
+
+    def test_triangle_is_real(self):
+        instance = far_instance(100, 10.0, 0.3, seed=11)
+        oracle = QueryOracle(instance.graph)
+        result = induced_sample_tester(oracle, 70, seed=12)
+        if result.found:
+            a, b, c = result.triangle
+            assert instance.graph.has_edge(a, b)
+            assert instance.graph.has_edge(b, c)
+            assert instance.graph.has_edge(a, c)
+
+    def test_communication_advantage_documented(self):
+        """Alg 7 sends only existing edges; the query tester pays |S|^2.
+
+        This is the paper's core observation about the dense tester: same
+        sample, different cost model.
+        """
+        import math
+
+        from repro.core.simultaneous_high import (
+            SimHighParams,
+            find_triangle_sim_high,
+        )
+        from repro.graphs.partition import partition_disjoint
+
+        n = 300
+        instance = far_instance(n, math.sqrt(n), 0.3, seed=13)
+        oracle = QueryOracle(instance.graph)
+        params = SimHighParams(epsilon=0.3, c=2.0)
+        sample_size = params.sample_size(
+            n, instance.graph.average_degree()
+        )
+        query_result = induced_sample_tester(oracle, sample_size, seed=14)
+        partition = partition_disjoint(instance.graph, 3, seed=15)
+        comm_result = find_triangle_sim_high(partition, params, seed=16)
+        # Queries are Theta(|S|^2); sent edges are only the existing ones.
+        assert query_result.queries == sample_size * (sample_size - 1) // 2
+        edges_sent_equivalent = comm_result.total_bits / (
+            2 * math.ceil(math.log2(n))
+        )
+        assert edges_sent_equivalent < query_result.queries
+
+
+class TestSparseVeeTester:
+    def test_detects_on_triangle_rich_sparse_graph(self):
+        instance = far_instance(300, 4.0, 0.3, seed=17)
+        oracle = QueryOracle(instance.graph)
+        result = sparse_vee_tester(oracle, num_probes=400, seed=18)
+        assert result.found
+
+    def test_one_sided(self):
+        graph = Graph(50, [(i, i + 1) for i in range(49)])
+        oracle = QueryOracle(graph)
+        assert not sparse_vee_tester(oracle, 200, seed=19).found
+
+    def test_queries_bounded(self):
+        graph = gnd(100, 4.0, seed=20)
+        oracle = QueryOracle(graph)
+        result = sparse_vee_tester(oracle, num_probes=50, seed=21)
+        assert result.queries <= 50 * 4

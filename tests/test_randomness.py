@@ -1,0 +1,130 @@
+"""Unit tests for shared public randomness (repro.comm.randomness)."""
+
+import pytest
+
+from repro.comm.randomness import SharedRandomness
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = SharedRandomness(42)
+        b = SharedRandomness(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seed_differs(self):
+        a = SharedRandomness(1)
+        b = SharedRandomness(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_is_deterministic(self):
+        a = SharedRandomness(7).fork(3)
+        b = SharedRandomness(7).fork(3)
+        assert a.random() == b.random()
+
+    def test_fork_tags_independent(self):
+        base = SharedRandomness(7)
+        assert base.fork(1).random() != base.fork(2).random()
+
+
+class TestPermutationRank:
+    def test_all_parties_agree(self):
+        a = SharedRandomness(5)
+        b = SharedRandomness(5)
+        rank_a = a.permutation_rank(100, tag=1)
+        rank_b = b.permutation_rank(100, tag=1)
+        for item in range(100):
+            assert rank_a(item) == rank_b(item)
+
+    def test_ranks_distinct(self):
+        rank = SharedRandomness(5).permutation_rank(50)
+        values = [rank(i) for i in range(50)]
+        assert len(set(values)) == 50
+
+    def test_min_is_roughly_uniform(self):
+        # The item with minimal rank over repeated permutations should be
+        # close to uniform; crude chi-square-free sanity check.
+        counts = {i: 0 for i in range(10)}
+        shared = SharedRandomness(9)
+        for tag in range(600):
+            rank = shared.permutation_rank(10, tag=tag)
+            winner = min(range(10), key=rank)
+            counts[winner] += 1
+        for count in counts.values():
+            assert 20 <= count <= 130  # expectation 60
+
+    def test_out_of_universe_rejected(self):
+        rank = SharedRandomness(0).permutation_rank(10)
+        with pytest.raises(ValueError):
+            rank(10)
+        with pytest.raises(ValueError):
+            rank(-1)
+
+
+class TestBernoulliSubset:
+    def test_probability_zero_empty(self):
+        assert SharedRandomness(1).bernoulli_subset(100, 0.0) == set()
+
+    def test_probability_one_full(self):
+        assert SharedRandomness(1).bernoulli_subset(10, 1.0) == set(range(10))
+
+    def test_expected_size(self):
+        sample = SharedRandomness(3).bernoulli_subset(10_000, 0.1)
+        assert 800 <= len(sample) <= 1200
+
+    def test_members_in_universe(self):
+        sample = SharedRandomness(3).bernoulli_subset(50, 0.5)
+        assert all(0 <= item < 50 for item in sample)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            SharedRandomness(0).bernoulli_subset(10, 1.5)
+
+
+class TestBernoulliPredicate:
+    def test_parties_agree(self):
+        a = SharedRandomness(11)
+        b = SharedRandomness(11)
+        pred_a = a.bernoulli_predicate(0.3, tag=5)
+        pred_b = b.bernoulli_predicate(0.3, tag=5)
+        assert [pred_a(i) for i in range(200)] == [
+            pred_b(i) for i in range(200)
+        ]
+
+    def test_hit_rate_close_to_p(self):
+        pred = SharedRandomness(13).bernoulli_predicate(0.25)
+        hits = sum(pred(i) for i in range(4000))
+        assert 800 <= hits <= 1200
+
+    def test_extreme_probabilities(self):
+        always = SharedRandomness(0).bernoulli_predicate(1.0)
+        never = SharedRandomness(0).bernoulli_predicate(0.0)
+        assert all(always(i) for i in range(20))
+        assert not any(never(i) for i in range(20))
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            SharedRandomness(0).bernoulli_predicate(-0.1)
+
+
+class TestSampling:
+    def test_without_replacement_size(self):
+        sample = SharedRandomness(2).sample_without_replacement(100, 10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_oversized_count_clamped(self):
+        sample = SharedRandomness(2).sample_without_replacement(5, 50)
+        assert sorted(sample) == [0, 1, 2, 3, 4]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SharedRandomness(2).sample_without_replacement(5, -1)
+
+    def test_shuffled_preserves_items(self):
+        shuffled = SharedRandomness(4).shuffled(range(20))
+        assert sorted(shuffled) == list(range(20))
+
+    def test_choice_and_randrange(self):
+        shared = SharedRandomness(6)
+        assert shared.randrange(10) in range(10)
+        assert shared.choice([5, 6, 7]) in (5, 6, 7)

@@ -1,0 +1,80 @@
+"""Tests for the report writer and the CLI entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.report import build_report, write_report
+from repro.analysis.__main__ import ROWS_BY_ID, main
+
+
+class TestCli:
+    def test_single_fast_row(self, capsys):
+        exit_code = main(["--row", "T1-R6"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "T1-R6" in out
+        assert "measured=" in out
+
+    def test_unknown_row(self, capsys):
+        exit_code = main(["--row", "T1-R99"])
+        assert exit_code == 2
+        assert "unknown row" in capsys.readouterr().err
+
+    def test_rows_by_id_covers_all(self):
+        from repro.analysis.table1 import ALL_ROWS
+
+        assert len(ROWS_BY_ID) == len(ALL_ROWS)
+        assert set(ROWS_BY_ID.values()) == set(ALL_ROWS)
+
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--row", "L4.5"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0
+        assert "L4.5" in result.stdout
+
+
+class TestReportRendering:
+    def test_row_rendering(self):
+        from repro.analysis.table1 import RowReport
+        from repro.analysis.report import _render_row
+
+        row = RowReport(
+            row_id="T1-X", description="demo", paper_bound="O(1)",
+            metric="bits", claimed=None, measured=1.5, note="n/a",
+        )
+        rendered = _render_row(row)
+        assert rendered.startswith("| T1-X |")
+        assert "—" in rendered
+        assert "1.500" in rendered
+
+    def test_write_report_roundtrip(self, tmp_path, monkeypatch):
+        # Restrict to the fast rows so the round-trip test stays quick;
+        # the full-suite path is exercised by the benchmarks.
+        import repro.analysis.report as report_module
+        from repro.analysis import table1
+
+        monkeypatch.setattr(
+            report_module, "ALL_ROWS",
+            [table1.row_bm_lower, table1.row_symmetrization],
+        )
+        target = write_report(tmp_path / "report.md", quick=True, seed=0)
+        text = target.read_text()
+        assert "# Table 1 reproduction report" in text
+        assert "T1-R6" in text
+        assert "T1-R5" in text
+        assert "| row | seconds |" in text
+
+    def test_build_report_header(self, monkeypatch):
+        import repro.analysis.report as report_module
+        from repro.analysis import table1
+
+        monkeypatch.setattr(
+            report_module, "ALL_ROWS", [table1.row_bm_lower]
+        )
+        text = build_report(quick=True, seed=1)
+        assert "mode: quick, seed 1" in text
+        assert "python" in text

@@ -1,0 +1,44 @@
+"""Tests for the DetectionResult contract (repro.core.results)."""
+
+import pytest
+
+from repro.comm.ledger import CommunicationLedger
+from repro.core.results import DetectionResult
+
+
+def summary(bits: int = 10):
+    ledger = CommunicationLedger()
+    ledger.charge_upstream(0, bits)
+    return ledger.summary()
+
+
+class TestDetectionResult:
+    def test_found_requires_triangle(self):
+        with pytest.raises(ValueError):
+            DetectionResult(found=True, triangle=None, cost=summary())
+
+    def test_not_found_forbids_triangle(self):
+        with pytest.raises(ValueError):
+            DetectionResult(found=False, triangle=(0, 1, 2), cost=summary())
+
+    def test_total_bits_passthrough(self):
+        result = DetectionResult(
+            found=True, triangle=(0, 1, 2), cost=summary(42)
+        )
+        assert result.total_bits == 42
+
+    def test_verdict_semantics(self):
+        found = DetectionResult(
+            found=True, triangle=(0, 1, 2), cost=summary()
+        )
+        missed = DetectionResult(found=False, triangle=None, cost=summary())
+        assert not found.verdict_triangle_free()
+        assert missed.verdict_triangle_free()
+
+    def test_witness_edges_default_empty(self):
+        result = DetectionResult(found=False, triangle=None, cost=summary())
+        assert result.witness_edges == ()
+
+    def test_details_default_dict(self):
+        result = DetectionResult(found=False, triangle=None, cost=summary())
+        assert result.details == {}

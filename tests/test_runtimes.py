@@ -1,0 +1,227 @@
+"""Unit tests for the four model runtimes (coordinator, simultaneous,
+one-way, blackboard)."""
+
+import pytest
+
+from repro.comm.blackboard import BlackboardRuntime
+from repro.comm.coordinator import CoordinatorRuntime
+from repro.comm.encoding import edge_bits
+from repro.comm.oneway import (
+    OneWayTranscript,
+    run_extended_oneway,
+    run_oneway_chain,
+)
+from repro.comm.players import Player, make_players
+from repro.comm.randomness import SharedRandomness
+from repro.comm.simultaneous import run_simultaneous
+from repro.graphs.generators import gnd
+from repro.graphs.partition import partition_disjoint
+
+
+def three_players() -> list[Player]:
+    return [
+        Player(0, 10, [(0, 1), (1, 2)]),
+        Player(1, 10, [(2, 3)]),
+        Player(2, 10, [(4, 5), (5, 6)]),
+    ]
+
+
+class TestCoordinatorRuntime:
+    def test_collect_polls_everyone(self):
+        rt = CoordinatorRuntime(three_players(), SharedRandomness(1))
+        sizes = rt.collect(
+            compute=lambda p: p.num_edges, response_bits=lambda _: 4
+        )
+        assert sizes == [2, 1, 2]
+
+    def test_collect_charges_request_and_response(self):
+        rt = CoordinatorRuntime(three_players(), SharedRandomness(1))
+        rt.collect(compute=lambda p: 0, response_bits=lambda _: 4)
+        # 3 players x (1 request + 4 response).
+        assert rt.ledger.total_bits == 15
+        assert rt.ledger.rounds == 3
+
+    def test_collect_zero_request_bits(self):
+        rt = CoordinatorRuntime(three_players(), SharedRandomness(1))
+        rt.collect(
+            compute=lambda p: 0, response_bits=lambda _: 2, request_bits=0
+        )
+        assert rt.ledger.total_bits == 6
+
+    def test_collect_from_single_player(self):
+        rt = CoordinatorRuntime(three_players(), SharedRandomness(1))
+        result = rt.collect_from(
+            1, compute=lambda p: p.num_edges, response_bits=lambda _: 3
+        )
+        assert result == 1
+        assert rt.ledger.total_bits == 4
+
+    def test_broadcast_charges_k_copies(self):
+        rt = CoordinatorRuntime(three_players(), SharedRandomness(1))
+        rt.broadcast(5)
+        assert rt.ledger.downstream_bits == 15
+
+    def test_empty_players_rejected(self):
+        with pytest.raises(ValueError):
+            CoordinatorRuntime([], SharedRandomness(0))
+
+    def test_mismatched_universe_rejected(self):
+        players = [Player(0, 10, []), Player(1, 20, [])]
+        with pytest.raises(ValueError):
+            CoordinatorRuntime(players)
+
+    def test_scope_labels(self):
+        rt = CoordinatorRuntime(three_players(), SharedRandomness(1))
+        with rt.scope("phase"):
+            rt.collect(compute=lambda p: 0, response_bits=lambda _: 1)
+        assert rt.ledger.summary().bits_by_label["phase"] == 6
+
+
+class TestSimultaneousRuntime:
+    def test_one_message_per_player(self):
+        run = run_simultaneous(
+            three_players(),
+            message_fn=lambda p, _: p.num_edges,
+            message_bits=lambda m: m,
+            referee_fn=lambda messages, _: sum(messages),
+        )
+        assert run.output == 5
+        assert run.messages == [2, 1, 2]
+        assert run.total_bits == 5
+        assert run.ledger.rounds == 1
+
+    def test_shared_randomness_passed(self):
+        shared = SharedRandomness(7)
+        run = run_simultaneous(
+            three_players(),
+            message_fn=lambda p, s: s.seed,
+            message_bits=lambda _: 1,
+            referee_fn=lambda messages, s: messages,
+            shared=shared,
+        )
+        assert run.output == [7, 7, 7]
+
+    def test_max_message_bits(self):
+        run = run_simultaneous(
+            three_players(),
+            message_fn=lambda p, _: p.num_edges,
+            message_bits=lambda m: m * 10,
+            referee_fn=lambda messages, _: None,
+        )
+        assert run.max_message_bits() == 20
+
+    def test_empty_players_rejected(self):
+        with pytest.raises(ValueError):
+            run_simultaneous(
+                [], lambda p, s: 0, lambda m: 1, lambda ms, s: None
+            )
+
+
+class TestExtendedOneWay:
+    def test_transcript_charged(self):
+        players = three_players()
+
+        def conversation(alice, bob, shared, transcript):
+            transcript.append(0, "hello", 5)
+            transcript.append(1, "world", 7)
+
+        def charlie_output(charlie, transcript, shared):
+            return transcript.payloads()
+
+        run = run_extended_oneway(
+            players[0], players[1], players[2], conversation, charlie_output
+        )
+        assert run.output == ["hello", "world"]
+        assert run.total_bits == 12
+        assert run.ledger.total_bits == 12
+
+    def test_charlie_sees_own_input(self):
+        players = three_players()
+
+        def conversation(alice, bob, shared, transcript):
+            transcript.append(0, sorted(alice.edges), 16)
+
+        def charlie_output(charlie, transcript, shared):
+            return charlie.num_edges
+
+        run = run_extended_oneway(
+            players[0], players[1], players[2], conversation, charlie_output
+        )
+        assert run.output == 2
+
+    def test_empty_transcript(self):
+        transcript = OneWayTranscript()
+        assert transcript.total_bits == 0
+        assert transcript.payloads() == []
+
+
+class TestOneWayChain:
+    def test_state_forwarded_in_order(self):
+        players = three_players()
+        run = run_oneway_chain(
+            players,
+            initial_state=[],
+            step=lambda p, state, _: state + [p.player_id],
+            state_bits=lambda state: len(state),
+            finalize=lambda p, state, _: state + [p.player_id],
+        )
+        assert run.output == [0, 1, 2]
+
+    def test_bits_charged_per_hop(self):
+        players = three_players()
+        run = run_oneway_chain(
+            players,
+            initial_state=0,
+            step=lambda p, state, _: state + p.num_edges,
+            state_bits=lambda _: 8,
+            finalize=lambda p, state, _: state,
+        )
+        assert run.total_bits == 16  # two forwarding hops
+
+    def test_single_player_rejected(self):
+        with pytest.raises(ValueError):
+            run_oneway_chain(
+                [Player(0, 5, [])],
+                initial_state=None,
+                step=lambda p, s, _: s,
+                state_bits=lambda _: 1,
+                finalize=lambda p, s, _: s,
+            )
+
+
+class TestBlackboard:
+    def test_post_charged_once(self):
+        rt = BlackboardRuntime(three_players(), SharedRandomness(1))
+        rt.post(0, "payload", 9)
+        assert rt.ledger.total_bits == 9
+        assert rt.board == [(0, "payload")]
+
+    def test_post_edges_deduplicates(self):
+        graph = gnd(30, 4.0, seed=1)
+        # All-to-all duplication: every player holds every edge.
+        from repro.graphs.partition import partition_all_to_all
+
+        partition = partition_all_to_all(graph, 3)
+        rt = BlackboardRuntime(make_players(partition), SharedRandomness(2))
+        posted = rt.post_edges_in_turns(
+            harvest=lambda p: sorted(p.edges),
+            per_edge_bits=edge_bits(30),
+        )
+        assert posted == graph.edge_set()
+        # Charged once per distinct edge, not once per player copy.
+        assert rt.ledger.total_bits == graph.num_edges * edge_bits(30)
+
+    def test_post_edges_cap(self):
+        graph = gnd(30, 4.0, seed=1)
+        partition = partition_disjoint(graph, 3, seed=3)
+        rt = BlackboardRuntime(make_players(partition), SharedRandomness(2))
+        posted = rt.post_edges_in_turns(
+            harvest=lambda p: sorted(p.edges),
+            per_edge_bits=edge_bits(30),
+            cap=5,
+        )
+        assert len(posted) == 5
+
+    def test_empty_players_rejected(self):
+        with pytest.raises(ValueError):
+            BlackboardRuntime([])

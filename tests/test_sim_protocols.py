@@ -1,0 +1,251 @@
+"""Tests for the simultaneous protocols (Algorithms 7-11)."""
+
+import math
+
+import pytest
+
+from repro.core.oblivious import ObliviousParams, find_triangle_sim_oblivious
+from repro.core.simultaneous_high import SimHighParams, find_triangle_sim_high
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+from repro.graphs.generators import (
+    bipartite_triangle_free,
+    far_instance,
+    skewed_hub_graph,
+)
+from repro.graphs.partition import (
+    partition_adversarial_skew,
+    partition_disjoint,
+    partition_with_duplication,
+)
+from repro.graphs.triangles import iter_triangles
+
+
+def detection_rate(protocol, partition, params, seeds=6):
+    found = 0
+    for seed in range(seeds):
+        if protocol(partition, params, seed=seed).found:
+            found += 1
+    return found / seeds
+
+
+class TestSimHighParams:
+    def test_sample_size_formula(self):
+        params = SimHighParams(epsilon=0.1, c=2.0)
+        expected = 2.0 * (1000 ** 2 / (0.1 * 40.0)) ** (1 / 3)
+        assert params.sample_size(1000, 40.0) == math.ceil(expected)
+
+    def test_sample_clamped_to_n(self):
+        assert SimHighParams(c=100.0).sample_size(50, 2.0) == 50
+
+    def test_zero_degree(self):
+        assert SimHighParams().sample_size(100, 0.0) == 0
+
+    def test_edge_cap_positive(self):
+        assert SimHighParams().edge_cap(1000, 30.0, 100) >= 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            SimHighParams(epsilon=2.0)
+        with pytest.raises(ValueError):
+            SimHighParams(c=0.0)
+
+
+class TestSimHighDetection:
+    def test_detects_on_dense_far_instance(self):
+        n = 400
+        instance = far_instance(n, math.sqrt(n), 0.25, seed=1)
+        partition = partition_disjoint(instance.graph, 3, seed=2)
+        rate = detection_rate(
+            find_triangle_sim_high, partition,
+            SimHighParams(epsilon=0.25, delta=0.1, c=2.0),
+        )
+        assert rate >= 0.8
+
+    def test_one_sided(self):
+        control = bipartite_triangle_free(300, 20.0, seed=3)
+        partition = partition_disjoint(control, 3, seed=4)
+        rate = detection_rate(
+            find_triangle_sim_high, partition, SimHighParams(epsilon=0.25)
+        )
+        assert rate == 0.0
+
+    def test_witness_valid(self):
+        instance = far_instance(300, 18.0, 0.25, seed=5)
+        partition = partition_disjoint(instance.graph, 3, seed=6)
+        result = find_triangle_sim_high(
+            partition, SimHighParams(epsilon=0.25, c=2.5), seed=7
+        )
+        if result.found:
+            assert result.triangle in set(iter_triangles(instance.graph))
+
+    def test_bernoulli_variant(self):
+        instance = far_instance(400, 20.0, 0.25, seed=8)
+        partition = partition_disjoint(instance.graph, 3, seed=9)
+        rate = detection_rate(
+            find_triangle_sim_high, partition,
+            SimHighParams(
+                epsilon=0.25, c=2.0, bernoulli_sampling=True, capped=False
+            ),
+        )
+        assert rate >= 0.8
+
+    def test_single_round(self):
+        instance = far_instance(200, 15.0, 0.25, seed=10)
+        partition = partition_disjoint(instance.graph, 3, seed=11)
+        result = find_triangle_sim_high(partition, seed=12)
+        assert result.cost.rounds == 1
+
+    def test_cap_respected(self):
+        instance = far_instance(300, 18.0, 0.3, seed=13)
+        partition = partition_disjoint(instance.graph, 3, seed=14)
+        params = SimHighParams(epsilon=0.3, delta=0.2, c=2.0)
+        result = find_triangle_sim_high(partition, params, seed=15)
+        cap = result.details["edge_cap"]
+        from repro.comm.encoding import edge_bits
+
+        per_player_limit = cap * edge_bits(300)
+        for player in range(3):
+            assert result.cost.bits_by_player.get(player, 0) <= (
+                per_player_limit
+            )
+
+
+class TestSimLowParams:
+    def test_default_c_from_delta(self):
+        params = SimLowParams(delta=0.1)
+        assert params.effective_c == pytest.approx(8.0 / 0.9)
+
+    def test_probabilities(self):
+        params = SimLowParams(c=2.0)
+        assert params.p_dense_catcher(8.0) == pytest.approx(0.25)
+        assert params.p_dense_catcher(1.0) == 1.0
+        assert params.p_birthday(10_000) == pytest.approx(0.02)
+
+    def test_edge_cap_formula(self):
+        params = SimLowParams(c=2.0, delta=0.1)
+        expected = 2 * 4 * (math.sqrt(400) + 5.0) * 20
+        assert params.edge_cap(400, 5.0) == math.ceil(expected)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            SimLowParams(delta=0.0)
+        with pytest.raises(ValueError):
+            SimLowParams(c=-1.0)
+
+
+class TestSimLowDetection:
+    def test_detects_on_sparse_far_instance(self):
+        instance = far_instance(1000, 5.0, 0.25, seed=1)
+        partition = partition_disjoint(instance.graph, 3, seed=2)
+        rate = detection_rate(
+            find_triangle_sim_low, partition,
+            SimLowParams(epsilon=0.25, delta=0.1),
+        )
+        assert rate >= 0.8
+
+    def test_one_sided(self):
+        control = bipartite_triangle_free(600, 5.0, seed=3)
+        partition = partition_disjoint(control, 3, seed=4)
+        rate = detection_rate(
+            find_triangle_sim_low, partition, SimLowParams(epsilon=0.25)
+        )
+        assert rate == 0.0
+
+    def test_hub_concentrated_triangles(self):
+        # The variance case AlgLow is designed for: triangles through a
+        # few high-degree sources, caught via S.
+        graph = skewed_hub_graph(900, num_hubs=2, vees_per_hub=100, seed=5)
+        partition = partition_disjoint(graph, 3, seed=6)
+        rate = detection_rate(
+            find_triangle_sim_low, partition,
+            SimLowParams(epsilon=0.2, delta=0.1), seeds=8,
+        )
+        assert rate >= 0.6
+
+    def test_duplication_tolerated(self):
+        instance = far_instance(800, 5.0, 0.25, seed=7)
+        partition = partition_with_duplication(instance.graph, 4, seed=8)
+        rate = detection_rate(
+            find_triangle_sim_low, partition,
+            SimLowParams(epsilon=0.25, delta=0.1),
+        )
+        assert rate >= 0.8
+
+    def test_single_round(self):
+        instance = far_instance(400, 4.0, 0.25, seed=9)
+        partition = partition_disjoint(instance.graph, 3, seed=10)
+        result = find_triangle_sim_low(partition, seed=11)
+        assert result.cost.rounds == 1
+
+    def test_details_sample_sizes(self):
+        instance = far_instance(400, 4.0, 0.25, seed=12)
+        partition = partition_disjoint(instance.graph, 3, seed=13)
+        result = find_triangle_sim_low(partition, seed=14)
+        dense_size, birthday_size = result.details["sample_sizes"]
+        assert dense_size > 0
+        assert birthday_size > 0
+
+
+class TestOblivious:
+    def test_detects_sparse(self):
+        instance = far_instance(800, 5.0, 0.25, seed=1)
+        partition = partition_disjoint(instance.graph, 4, seed=2)
+        rate = detection_rate(
+            find_triangle_sim_oblivious, partition,
+            ObliviousParams(epsilon=0.25, delta=0.1),
+        )
+        assert rate >= 0.8
+
+    def test_detects_dense(self):
+        n = 400
+        instance = far_instance(n, math.sqrt(n), 0.25, seed=3)
+        partition = partition_disjoint(instance.graph, 4, seed=4)
+        rate = detection_rate(
+            find_triangle_sim_oblivious, partition,
+            ObliviousParams(epsilon=0.25, delta=0.1),
+        )
+        assert rate >= 0.8
+
+    def test_one_sided(self):
+        control = bipartite_triangle_free(500, 6.0, seed=5)
+        partition = partition_disjoint(control, 4, seed=6)
+        rate = detection_rate(
+            find_triangle_sim_oblivious, partition, ObliviousParams()
+        )
+        assert rate == 0.0
+
+    def test_skewed_partition_relevant_players_suffice(self):
+        instance = far_instance(800, 5.0, 0.3, seed=7)
+        partition = partition_adversarial_skew(
+            instance.graph, 5, seed=8, heavy_fraction=0.9
+        )
+        rate = detection_rate(
+            find_triangle_sim_oblivious, partition,
+            ObliviousParams(epsilon=0.3, delta=0.1), seeds=8,
+        )
+        assert rate >= 0.6
+
+    def test_guess_range_covers_true_density(self):
+        params = ObliviousParams(epsilon=0.2)
+        k, n = 4, 4096
+        local = 2.0  # a relevant player's view of a d=8 graph
+        guesses = params.guess_range_for_player(local, k, n)
+        covered = [2 ** i for i in guesses]
+        assert any(4.0 <= guess <= 2 * 8.0 for guess in covered)
+
+    def test_irrelevant_player_sends_little(self):
+        params = ObliviousParams(epsilon=0.2)
+        assert len(params.guess_range_for_player(0.0, 4, 1024)) == 0
+
+    def test_single_round(self):
+        instance = far_instance(300, 5.0, 0.25, seed=9)
+        partition = partition_disjoint(instance.graph, 3, seed=10)
+        result = find_triangle_sim_oblivious(partition, seed=11)
+        assert result.cost.rounds == 1
+
+    def test_details_report_winning_guess(self):
+        instance = far_instance(600, 5.0, 0.3, seed=12)
+        partition = partition_disjoint(instance.graph, 3, seed=13)
+        result = find_triangle_sim_oblivious(partition, seed=14)
+        if result.found:
+            assert result.details["winning_guess_index"] is not None

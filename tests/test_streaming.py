@@ -1,0 +1,157 @@
+"""Tests for the streaming substrate and reductions (repro.streaming)."""
+
+import pytest
+
+from repro.comm.encoding import edge_bits
+from repro.graphs.generators import far_instance, gnd
+from repro.graphs.graph import Graph
+from repro.graphs.partition import partition_disjoint
+from repro.graphs.triangles import is_triangle_free, iter_triangles
+from repro.lowerbounds.distributions import MuDistribution
+from repro.streaming.reduction import (
+    oneway_cost_of_streaming,
+    space_lower_bound_from_oneway,
+    streaming_to_oneway,
+)
+from repro.streaming.stream import run_stream
+from repro.streaming.triangle_stream import (
+    CountingExactFinder,
+    ReservoirTriangleFinder,
+)
+
+
+def triangle_stream():
+    return [(0, 1), (0, 2), (1, 2)]
+
+
+class TestExactFinder:
+    def test_finds_triangle(self):
+        finder = CountingExactFinder(5)
+        run = run_stream(finder, triangle_stream())
+        assert run.result == (0, 1, 2)
+
+    def test_free_stream(self):
+        finder = CountingExactFinder(5)
+        run = run_stream(finder, [(0, 1), (1, 2), (2, 3)])
+        assert run.result is None
+
+    def test_space_linear_in_stream(self):
+        graph = gnd(100, 6.0, seed=1)
+        finder = CountingExactFinder(100)
+        run = run_stream(finder, sorted(graph.edges()))
+        assert run.peak_space_bits >= graph.num_edges * edge_bits(100)
+
+    def test_elements_counted(self):
+        run = run_stream(CountingExactFinder(5), triangle_stream())
+        assert run.elements_processed == 3
+
+    def test_state_roundtrip(self):
+        first = CountingExactFinder(10)
+        for edge in [(0, 1), (0, 2)]:
+            first.process(edge)
+        second = CountingExactFinder(10)
+        second.import_state(first.export_state())
+        second.process((1, 2))
+        assert second.result() == (0, 1, 2)
+
+
+class TestReservoirFinder:
+    def test_finds_with_large_reservoir(self):
+        instance = far_instance(200, 5.0, 0.3, seed=2)
+        finder = ReservoirTriangleFinder(200, reservoir_size=600, seed=3)
+        run = run_stream(finder, sorted(instance.graph.edges()))
+        assert run.result is not None
+        assert run.result in set(iter_triangles(instance.graph))
+
+    def test_one_sided(self):
+        graph = gnd(100, 3.0, seed=4)
+        finder = ReservoirTriangleFinder(100, reservoir_size=50, seed=5)
+        run = run_stream(finder, sorted(graph.edges()))
+        if run.result is not None:
+            a, b, c = run.result
+            assert graph.has_edge(a, b)
+            assert graph.has_edge(a, c)
+            assert graph.has_edge(b, c)
+
+    def test_space_bounded_by_reservoir(self):
+        graph = gnd(300, 8.0, seed=6)
+        reservoir = 20
+        finder = ReservoirTriangleFinder(300, reservoir_size=reservoir, seed=7)
+        run = run_stream(finder, sorted(graph.edges()))
+        assert run.peak_space_bits <= (reservoir + 1) * edge_bits(300)
+
+    def test_success_grows_with_space(self):
+        mu = MuDistribution(part_size=40, gamma=1.2)
+        rates = []
+        for reservoir in (4, 200):
+            successes = 0
+            trials = 8
+            for trial in range(trials):
+                sample = mu.sample(seed=trial)
+                if is_triangle_free(sample.graph):
+                    continue
+                finder = ReservoirTriangleFinder(
+                    sample.graph.n, reservoir_size=reservoir, seed=trial
+                )
+                if run_stream(
+                    finder, sorted(sample.graph.edges())
+                ).result is not None:
+                    successes += 1
+            rates.append(successes / trials)
+        assert rates[1] > rates[0]
+
+    def test_minimum_reservoir_enforced(self):
+        with pytest.raises(ValueError):
+            ReservoirTriangleFinder(10, reservoir_size=1)
+
+    def test_state_roundtrip(self):
+        first = ReservoirTriangleFinder(10, reservoir_size=4, seed=1)
+        for edge in [(0, 1), (0, 2)]:
+            first.process(edge)
+        second = ReservoirTriangleFinder(10, reservoir_size=4, seed=99)
+        second.import_state(first.export_state())
+        second.process((1, 2))
+        assert second.result() == (0, 1, 2)
+
+
+class TestReduction:
+    def test_chain_matches_streaming_result_shape(self):
+        instance = far_instance(150, 5.0, 0.3, seed=8)
+        partition = partition_disjoint(instance.graph, 3, seed=9)
+        run = streaming_to_oneway(
+            partition, lambda: CountingExactFinder(150)
+        )
+        assert run.output is not None  # exact finder always succeeds
+
+    def test_chain_cost_is_state_sizes(self):
+        instance = far_instance(150, 5.0, 0.3, seed=10)
+        partition = partition_disjoint(instance.graph, 3, seed=11)
+        cost = oneway_cost_of_streaming(
+            partition, lambda: CountingExactFinder(150)
+        )
+        # Two hops, each forwarding <= |E| edges worth of state.
+        assert cost <= 2 * instance.graph.num_edges * edge_bits(150)
+        assert cost > 0
+
+    def test_reservoir_chain_bounded_cost(self):
+        instance = far_instance(150, 5.0, 0.3, seed=12)
+        partition = partition_disjoint(instance.graph, 3, seed=13)
+        reservoir = 16
+        cost = oneway_cost_of_streaming(
+            partition,
+            lambda: ReservoirTriangleFinder(150, reservoir, seed=14),
+        )
+        assert cost <= 2 * (reservoir + 1) * edge_bits(150)
+
+    def test_single_player_rejected(self):
+        graph = Graph(5, [(0, 1)])
+        from repro.graphs.partition import EdgePartition
+
+        partition = EdgePartition(graph, (frozenset({(0, 1)}),))
+        with pytest.raises(ValueError):
+            streaming_to_oneway(partition, lambda: CountingExactFinder(5))
+
+    def test_space_transfer_formula(self):
+        assert space_lower_bound_from_oneway(1000.0, hops=2) == 500.0
+        with pytest.raises(ValueError):
+            space_lower_bound_from_oneway(10.0, hops=0)

@@ -1,0 +1,109 @@
+"""Tests for the Theorem 4.15 symmetrization lift."""
+
+import pytest
+
+from repro.comm.encoding import edge_bits
+from repro.comm.players import make_players
+from repro.comm.simultaneous import run_simultaneous
+from repro.lowerbounds.distributions import MuDistribution
+from repro.lowerbounds.symmetrization import (
+    embed,
+    sample_eta,
+    verify_cost_identity,
+)
+
+
+def sketch_protocol(max_edges: int):
+    def run(partition, seed):
+        players = make_players(partition)
+        n = partition.graph.n
+        return run_simultaneous(
+            players,
+            message_fn=lambda p, _: sorted(p.edges)[:max_edges],
+            message_bits=lambda edges: max(1, len(edges) * edge_bits(n)),
+            referee_fn=lambda messages, _: None,
+        )
+
+    return run
+
+
+class TestEmbed:
+    @pytest.fixture
+    def sample(self):
+        return MuDistribution(part_size=12, gamma=1.0).sample(seed=1)
+
+    def test_special_players_get_alice_bob(self, sample):
+        partition = embed(0, 2, sample, k=5)
+        assert partition.views[0] == sample.alice_edges
+        assert partition.views[2] == sample.bob_edges
+
+    def test_others_get_charlie(self, sample):
+        partition = embed(0, 2, sample, k=5)
+        for player in (1, 3, 4):
+            assert partition.views[player] == sample.charlie_edges
+
+    def test_covers_graph(self, sample):
+        partition = embed(1, 2, sample, k=4)
+        union = set()
+        for view in partition.views:
+            union.update(view)
+        assert union == sample.graph.edge_set()
+
+    def test_last_player_never_special(self, sample):
+        with pytest.raises(ValueError):
+            embed(0, 4, sample, k=5)
+
+    def test_distinct_specials_required(self, sample):
+        with pytest.raises(ValueError):
+            embed(1, 1, sample, k=5)
+
+    def test_k_at_least_three(self, sample):
+        with pytest.raises(ValueError):
+            embed(0, 1, sample, k=2)
+
+
+class TestSampleEta:
+    def test_special_players_valid(self):
+        mu = MuDistribution(part_size=10, gamma=1.0)
+        for seed in range(5):
+            partition, i, j = sample_eta(mu, k=6, seed=seed)
+            assert i != j
+            assert i < 5 and j < 5
+            assert partition.k == 6
+
+
+class TestCostIdentity:
+    def test_ratio_matches_two_over_k(self):
+        mu = MuDistribution(part_size=15, gamma=1.0)
+        for k in (4, 8):
+            report = verify_cost_identity(
+                mu, k, sketch_protocol(8), trials=60, seed=1
+            )
+            assert report.predicted_ratio == pytest.approx(2.0 / k)
+            assert report.relative_error < 0.25, (
+                f"k={k}: measured {report.measured_ratio:.4f} vs "
+                f"{report.predicted_ratio:.4f}"
+            )
+
+    def test_exact_for_constant_size_messages(self):
+        # With every player sending exactly the same number of bits, the
+        # identity holds with zero variance.
+        def constant_protocol(partition, seed):
+            players = make_players(partition)
+            return run_simultaneous(
+                players,
+                message_fn=lambda p, _: 0,
+                message_bits=lambda _: 10,
+                referee_fn=lambda messages, _: None,
+            )
+
+        mu = MuDistribution(part_size=8, gamma=1.0)
+        report = verify_cost_identity(
+            mu, 5, constant_protocol, trials=10, seed=2
+        )
+        assert report.measured_ratio == pytest.approx(2.0 / 5)
+
+    def test_trials_validated(self):
+        mu = MuDistribution(part_size=8)
+        with pytest.raises(ValueError):
+            verify_cost_identity(mu, 4, sketch_protocol(4), trials=0)

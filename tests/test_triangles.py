@@ -1,0 +1,188 @@
+"""Unit tests for triangle machinery (repro.graphs.triangles)."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.triangles import (
+    close_vee,
+    contains_triangle_among,
+    count_triangles,
+    find_triangle,
+    find_triangle_among,
+    greedy_triangle_packing,
+    is_epsilon_far_certified,
+    is_triangle_free,
+    is_triangle_vee,
+    iter_triangle_vees,
+    iter_triangles,
+    make_triangle_free_by_removal,
+    packing_distance_lower_bound,
+    triangle_edges,
+)
+
+
+def triangle_graph() -> Graph:
+    return Graph(3, [(0, 1), (0, 2), (1, 2)])
+
+
+def two_triangles_shared_edge() -> Graph:
+    # Triangles (0,1,2) and (0,1,3) sharing edge (0,1).
+    return Graph(4, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)])
+
+
+class TestDetection:
+    def test_empty_graph_free(self):
+        assert is_triangle_free(Graph(5))
+
+    def test_single_triangle_found(self):
+        assert find_triangle(triangle_graph()) == (0, 1, 2)
+
+    def test_path_is_free(self):
+        assert is_triangle_free(Graph(4, [(0, 1), (1, 2), (2, 3)]))
+
+    def test_bipartite_is_free(self):
+        edges = [(u, v) for u in range(3) for v in range(3, 6)]
+        assert is_triangle_free(Graph(6, edges))
+
+    def test_triangle_in_larger_graph(self):
+        graph = Graph(10, [(0, 5), (5, 9), (0, 9), (1, 2)])
+        assert find_triangle(graph) == (0, 5, 9)
+
+    def test_count_single(self):
+        assert count_triangles(triangle_graph()) == 1
+
+    def test_count_k4(self):
+        edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        assert count_triangles(Graph(4, edges)) == 4
+
+    def test_iter_unique(self):
+        triangles = list(iter_triangles(two_triangles_shared_edge()))
+        assert sorted(triangles) == [(0, 1, 2), (0, 1, 3)]
+
+    def test_triangle_vertices_sorted(self):
+        for triangle in iter_triangles(two_triangles_shared_edge()):
+            assert list(triangle) == sorted(triangle)
+
+
+class TestTriangleAmongEdges:
+    def test_finds_triangle_in_bag(self):
+        assert find_triangle_among([(2, 1), (0, 1), (0, 2)]) == (0, 1, 2)
+
+    def test_no_triangle(self):
+        assert find_triangle_among([(0, 1), (1, 2), (2, 3)]) is None
+
+    def test_contains_wrapper(self):
+        assert contains_triangle_among([(0, 1), (1, 2), (0, 2)])
+        assert not contains_triangle_among([(0, 1)])
+
+    def test_empty_bag(self):
+        assert find_triangle_among([]) is None
+
+
+class TestTriangleEdges:
+    def test_all_edges_of_triangle(self):
+        assert triangle_edges(triangle_graph()) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_non_triangle_edges_excluded(self):
+        graph = Graph(5, [(0, 1), (0, 2), (1, 2), (3, 4)])
+        assert (3, 4) not in triangle_edges(graph)
+
+    def test_free_graph_empty(self):
+        assert triangle_edges(Graph(4, [(0, 1), (1, 2)])) == set()
+
+
+class TestVees:
+    def test_is_triangle_vee(self):
+        graph = triangle_graph()
+        assert is_triangle_vee(graph, (0, 1), (0, 2))
+
+    def test_vee_not_closing(self):
+        graph = Graph(3, [(0, 1), (0, 2)])
+        assert not is_triangle_vee(graph, (0, 1), (0, 2))
+
+    def test_disjoint_pair_not_vee(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        assert not is_triangle_vee(graph, (0, 1), (2, 3))
+
+    def test_close_vee_returns_edge(self):
+        assert close_vee(triangle_graph(), (0, 1), (0, 2)) == (1, 2)
+
+    def test_close_vee_none_when_open(self):
+        graph = Graph(3, [(0, 1), (0, 2)])
+        assert close_vee(graph, (0, 1), (0, 2)) is None
+
+    def test_iter_vees_at_source(self):
+        vees = list(iter_triangle_vees(triangle_graph(), 0))
+        assert vees == [((0, 1), (0, 2))]
+
+    def test_iter_vees_count_k4(self):
+        edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        graph = Graph(4, edges)
+        # At each K4 vertex: 3 neighbours, all pairs close -> C(3,2)=3 vees.
+        assert len(list(iter_triangle_vees(graph, 0))) == 3
+
+
+class TestPacking:
+    def test_packing_single_triangle(self):
+        assert greedy_triangle_packing(triangle_graph()) == [(0, 1, 2)]
+
+    def test_packing_edge_disjoint(self):
+        packing = greedy_triangle_packing(two_triangles_shared_edge())
+        assert len(packing) == 1  # the two triangles share an edge
+
+    def test_packing_disjoint_triangles(self):
+        graph = Graph(6, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+        assert len(greedy_triangle_packing(graph)) == 2
+
+    def test_packing_edges_disjoint_property(self):
+        edges = [(u, v) for u in range(6) for v in range(u + 1, 6)]
+        graph = Graph(6, edges)  # K6
+        used = set()
+        for a, b, c in greedy_triangle_packing(graph):
+            for edge in ((a, b), (a, c), (b, c)):
+                assert edge not in used
+                used.add(edge)
+
+    def test_distance_lower_bound(self):
+        graph = Graph(6, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+        assert packing_distance_lower_bound(graph) == 2
+
+
+class TestFarness:
+    def test_certified_far(self):
+        graph = triangle_graph()
+        assert is_epsilon_far_certified(graph, 1.0 / 3.0)
+
+    def test_not_certified_beyond_packing(self):
+        graph = triangle_graph()
+        assert not is_epsilon_far_certified(graph, 0.5)
+
+    def test_free_graph_not_far(self):
+        assert not is_epsilon_far_certified(Graph(4, [(0, 1)]), 0.1)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            is_epsilon_far_certified(Graph(3), -0.1)
+
+    def test_removal_reaches_freeness(self):
+        edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        graph = Graph(5, edges)  # K5
+        free, removed = make_triangle_free_by_removal(graph)
+        assert is_triangle_free(free)
+        assert removed >= packing_distance_lower_bound(graph)
+
+    def test_removal_noop_on_free_graph(self):
+        graph = Graph(4, [(0, 1), (1, 2)])
+        free, removed = make_triangle_free_by_removal(graph)
+        assert removed == 0
+        assert free.edge_set() == graph.edge_set()
+
+    def test_packing_sandwich(self):
+        # packing lower bound <= removal upper bound on a mixed graph.
+        graph = Graph(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (4, 5), (5, 6), (4, 6)],
+        )
+        lower = packing_distance_lower_bound(graph)
+        _, upper = make_triangle_free_by_removal(graph)
+        assert lower <= upper

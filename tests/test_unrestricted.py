@@ -1,0 +1,237 @@
+"""Tests for the Section 3.3 unrestricted protocol (Algorithms 1-6)."""
+
+import math
+
+import pytest
+
+from repro.core.degree_approx import DegreeApproxParams
+from repro.core.unrestricted import (
+    UnrestrictedParams,
+    find_triangle_unrestricted,
+)
+from repro.graphs.generators import (
+    bipartite_triangle_free,
+    far_instance,
+    planted_disjoint_triangles,
+    skewed_hub_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.partition import (
+    partition_disjoint,
+    partition_with_duplication,
+)
+
+FAST = dict(
+    samples_per_bucket=24,
+    max_candidates=10,
+    degree_params=DegreeApproxParams(
+        alpha=math.sqrt(3.0), tau=0.2, experiments_override=10
+    ),
+)
+
+
+def fast_params(**overrides) -> UnrestrictedParams:
+    merged = dict(epsilon=0.3, delta=0.2, **FAST)
+    merged.update(overrides)
+    return UnrestrictedParams(**merged)
+
+
+class TestParams:
+    def test_paper_formulas_at_scale_one(self):
+        params = UnrestrictedParams(epsilon=0.1, delta=0.1)
+        n, k = 1024, 4
+        expected_q = math.log(60.0) * 108 * 10 ** 2 * k / 0.01
+        assert params.bucket_sample_budget(n, k) == pytest.approx(
+            expected_q, rel=0.01
+        )
+
+    def test_scale_shrinks_budgets(self):
+        big = UnrestrictedParams(scale=1.0)
+        small = UnrestrictedParams(scale=0.001)
+        assert small.bucket_sample_budget(1024, 4) < (
+            big.bucket_sample_budget(1024, 4)
+        )
+
+    def test_overrides_win(self):
+        params = UnrestrictedParams(samples_per_bucket=7, max_candidates=3)
+        assert params.bucket_sample_budget(10_000, 10) == 7
+        assert params.candidate_budget(10_000) == 3
+
+    def test_edge_probability_decreasing_in_degree(self):
+        params = UnrestrictedParams()
+        assert params.edge_probability(1000, 400) <= params.edge_probability(
+            1000, 100
+        )
+
+    def test_edge_probability_capped_at_one(self):
+        assert UnrestrictedParams().edge_probability(1000, 1) == 1.0
+
+    def test_edge_cap_positive(self):
+        params = UnrestrictedParams()
+        assert params.edge_cap(100, 0.5) >= 1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            UnrestrictedParams(epsilon=0.0)
+        with pytest.raises(ValueError):
+            UnrestrictedParams(delta=1.0)
+        with pytest.raises(ValueError):
+            UnrestrictedParams(degree_mode="bogus")
+
+
+class TestDetection:
+    def test_finds_planted_triangles(self):
+        instance = planted_disjoint_triangles(
+            120, 20, seed=1, background_degree=2.0
+        )
+        partition = partition_disjoint(instance.graph, 3, seed=2)
+        found = 0
+        for seed in range(5):
+            result = find_triangle_unrestricted(
+                partition,
+                fast_params(
+                    known_average_degree=instance.graph.average_degree()
+                ),
+                seed=seed,
+            )
+            if result.found:
+                found += 1
+                from repro.graphs.triangles import iter_triangles
+
+                assert result.triangle in set(iter_triangles(instance.graph))
+        assert found >= 4
+
+    def test_witness_is_real_triangle(self):
+        instance = far_instance(200, 5.0, 0.3, seed=3)
+        partition = partition_disjoint(instance.graph, 4, seed=4)
+        result = find_triangle_unrestricted(
+            partition, fast_params(known_average_degree=5.0), seed=5
+        )
+        if result.found:
+            a, b, c = result.triangle
+            assert instance.graph.has_edge(a, b)
+            assert instance.graph.has_edge(a, c)
+            assert instance.graph.has_edge(b, c)
+
+    def test_one_sided_on_triangle_free(self):
+        graph = bipartite_triangle_free(200, 5.0, seed=6)
+        partition = partition_disjoint(graph, 3, seed=7)
+        for seed in range(3):
+            result = find_triangle_unrestricted(
+                partition, fast_params(known_average_degree=5.0), seed=seed
+            )
+            assert not result.found
+
+    def test_skewed_hub_instance(self):
+        # The §3.3 motivating case: all vees sourced at high-degree hubs.
+        graph = skewed_hub_graph(300, num_hubs=3, vees_per_hub=20, seed=8)
+        partition = partition_disjoint(graph, 3, seed=9)
+        found = 0
+        for seed in range(5):
+            result = find_triangle_unrestricted(
+                partition,
+                fast_params(
+                    known_average_degree=graph.average_degree(),
+                    samples_per_bucket=40,
+                ),
+                seed=seed,
+            )
+            found += result.found
+        assert found >= 4
+
+    def test_duplicated_inputs(self):
+        instance = far_instance(150, 5.0, 0.3, seed=10)
+        partition = partition_with_duplication(instance.graph, 3, seed=11)
+        found = 0
+        for seed in range(5):
+            result = find_triangle_unrestricted(
+                partition, fast_params(known_average_degree=5.0), seed=seed
+            )
+            found += result.found
+        assert found >= 3
+
+    def test_empty_graph(self):
+        graph = Graph(20)
+        from repro.graphs.partition import EdgePartition
+
+        partition = EdgePartition(graph, (frozenset(), frozenset()))
+        result = find_triangle_unrestricted(partition, fast_params(), seed=1)
+        assert not result.found
+
+
+class TestObliviousDegree:
+    def test_runs_without_degree(self):
+        instance = far_instance(150, 5.0, 0.3, seed=12)
+        partition = partition_disjoint(instance.graph, 3, seed=13)
+        found = 0
+        for seed in range(5):
+            result = find_triangle_unrestricted(
+                partition, fast_params(), seed=seed
+            )
+            assert result.details["oblivious"] is True
+            found += result.found
+        assert found >= 3
+
+
+class TestCostShape:
+    def test_early_exit_cheaper_than_control(self):
+        # On a planted instance the protocol stops at B_min; on a
+        # triangle-free control it runs the whole loop.
+        instance = far_instance(400, 6.0, 0.3, seed=14)
+        control = bipartite_triangle_free(400, 6.0, seed=15)
+        params = fast_params(known_average_degree=6.0)
+        found_bits = []
+        control_bits = []
+        for seed in range(3):
+            partition = partition_disjoint(instance.graph, 3, seed=seed)
+            result = find_triangle_unrestricted(partition, params, seed=seed)
+            if result.found:
+                found_bits.append(result.total_bits)
+            control_partition = partition_disjoint(control, 3, seed=seed)
+            control_bits.append(
+                find_triangle_unrestricted(
+                    control_partition, params, seed=seed
+                ).total_bits
+            )
+        assert found_bits, "planted triangles never found"
+        assert min(found_bits) < max(control_bits)
+
+    def test_blackboard_cheaper(self):
+        graph = bipartite_triangle_free(300, 6.0, seed=16)
+        partition = partition_disjoint(graph, 5, seed=17)
+        coordinator = find_triangle_unrestricted(
+            partition, fast_params(known_average_degree=6.0), seed=18
+        )
+        blackboard = find_triangle_unrestricted(
+            partition,
+            fast_params(known_average_degree=6.0, blackboard=True),
+            seed=18,
+        )
+        assert blackboard.total_bits <= coordinator.total_bits
+
+    def test_details_populated(self):
+        instance = far_instance(120, 5.0, 0.3, seed=19)
+        partition = partition_disjoint(instance.graph, 3, seed=20)
+        result = find_triangle_unrestricted(
+            partition, fast_params(known_average_degree=5.0), seed=21
+        )
+        assert "bucket_range" in result.details
+        assert result.details["buckets_tried"] >= 1
+        assert result.cost.rounds > 0
+
+
+class TestNodupExactMode:
+    def test_degree_mode_nodup(self):
+        instance = far_instance(150, 5.0, 0.3, seed=22)
+        partition = partition_disjoint(instance.graph, 3, seed=23)
+        found = 0
+        for seed in range(4):
+            result = find_triangle_unrestricted(
+                partition,
+                fast_params(
+                    known_average_degree=5.0, degree_mode="nodup_exact"
+                ),
+                seed=seed,
+            )
+            found += result.found
+        assert found >= 3
