@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import math
 
+from repro.analysis.experiments import run_sweep
+from repro.analysis.table1 import _tuned_unrestricted_params
 from repro.comm.encoding import edge_bits
 from repro.core.simultaneous_high import SimHighParams, find_triangle_sim_high
 from repro.core.unrestricted import find_triangle_unrestricted
-from repro.analysis.table1 import _tuned_unrestricted_params
+from repro.runtime import InstanceCache
 from repro.graphs.generators import (
     far_instance,
     triangle_free_degree_spread,
@@ -37,21 +39,39 @@ from repro.streaming.triangle_stream import ReservoirTriangleFinder
 
 
 def test_x3_blackboard_saves(benchmark, print_row):
+    """Both model variants route through the runtime with a shared
+    instance cache and key, so the blackboard run replays the exact
+    partition the coordinator run was measured on."""
+    from dataclasses import replace
+
     n, d, k = 2048, 8.0, 8
-    graph = triangle_free_degree_spread(
-        n, d, int(math.sqrt(n * d / 0.2)), seed=1
-    )
-    partition = partition_disjoint(graph, k, seed=2)
     params = _tuned_unrestricted_params(k, d)
+    grid = [(n, d, k)]
+
+    def instance(n_: int, d_: float, seed: int):
+        graph = triangle_free_degree_spread(
+            n_, d_, int(math.sqrt(n_ * d_ / 0.2)), seed=seed
+        )
+        return partition_disjoint(graph, k, seed=seed + 1)
 
     def run():
-        coordinator = find_triangle_unrestricted(partition, params, seed=3)
-        from dataclasses import replace
-
-        blackboard = find_triangle_unrestricted(
-            partition, replace(params, blackboard=True), seed=3
+        cache = InstanceCache()
+        coordinator = run_sweep(
+            lambda partition, s: find_triangle_unrestricted(
+                partition, params, seed=s
+            ),
+            instance, grid, trials=1, seed=1,
+            cache=cache, instance_key="x3-trifree",
         )
-        return coordinator.total_bits, blackboard.total_bits
+        blackboard = run_sweep(
+            lambda partition, s: find_triangle_unrestricted(
+                partition, replace(params, blackboard=True), seed=s
+            ),
+            instance, grid, trials=1, seed=1,
+            cache=cache, instance_key="x3-trifree",
+        )
+        assert cache.hits >= 1, "blackboard run must reuse the instance"
+        return coordinator.records[0].bits, blackboard.records[0].bits
 
     coordinator_bits, blackboard_bits = benchmark.pedantic(
         run, rounds=1, iterations=1
@@ -68,18 +88,31 @@ def test_x3_blackboard_saves(benchmark, print_row):
 
 
 def test_x4_duplication_costs_k(benchmark, print_row):
+    """Disjoint and all-to-all partitionings run at the same spec seed,
+    so both protocols see the same underlying far instance."""
     n, k = 900, 6
     d = math.sqrt(n)
     params = SimHighParams(epsilon=0.2, delta=0.2, c=2.0)
+    grid = [(n, d, k)]
+
+    def disjoint(n_: int, d_: float, seed: int):
+        built = far_instance(n_, d_, 0.2, seed=seed)
+        return partition_disjoint(built.graph, k, seed=seed + 1)
+
+    def duplicated(n_: int, d_: float, seed: int):
+        built = far_instance(n_, d_, 0.2, seed=seed)
+        return partition_all_to_all(built.graph, k)
+
+    def protocol(partition, seed: int):
+        return find_triangle_sim_high(partition, params, seed=seed)
 
     def run():
-        instance = far_instance(n, d, 0.2, seed=4)
-        disjoint_bits = find_triangle_sim_high(
-            partition_disjoint(instance.graph, k, seed=5), params, seed=6
-        ).total_bits
-        duplicated_bits = find_triangle_sim_high(
-            partition_all_to_all(instance.graph, k), params, seed=6
-        ).total_bits
+        disjoint_bits = run_sweep(
+            protocol, disjoint, grid, trials=1, seed=4
+        ).records[0].bits
+        duplicated_bits = run_sweep(
+            protocol, duplicated, grid, trials=1, seed=4
+        ).records[0].bits
         return disjoint_bits, duplicated_bits
 
     disjoint_bits, duplicated_bits = benchmark.pedantic(

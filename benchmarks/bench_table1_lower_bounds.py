@@ -104,7 +104,17 @@ def test_oneway_protocol_budget_curve(benchmark, print_row):
 
 def test_budget_starved_protocols_fail_on_mu(benchmark, print_row):
     """The qualitative content of the bounds: on µ, success degrades as the
-    simultaneous budget drops — a budget sweep traces the trade-off."""
+    simultaneous budget drops — a budget sweep traces the trade-off.
+
+    Each budget's trials run through the runtime at the same sweep seed,
+    so every budget is evaluated on the same µ samples; vacuous trials
+    (triangle-free samples) short-circuit before the protocol runs —
+    exactly like the old inline loop's ``continue`` — and are flagged
+    via the metrics hook so the rate skips them.
+    """
+    from repro.analysis.experiments import run_sweep
+    from repro.comm.ledger import CostSummary
+    from repro.core.results import DetectionResult
     from repro.core.simultaneous_low import (
         SimLowParams,
         find_triangle_sim_low,
@@ -115,22 +125,38 @@ def test_budget_starved_protocols_fail_on_mu(benchmark, print_row):
     mu = MuDistribution(part_size=50, gamma=1.3)
     budgets = (0.15, 0.5, 1.5, 6.0)
 
+    def instance(_n: int, _d: float, seed: int):
+        sample = mu.sample(seed=seed)
+        return sample.partition
+
+    def vacuous(_spec, _partition, outcome) -> dict:
+        # The protocol only short-circuits on vacuous samples, so the
+        # flag rides on the outcome — no second triangle scan needed.
+        return {"vacuous": outcome.details.get("vacuous", False)}
+
     def sweep():
         rates = []
         for c in budgets:
-            hits = 0
-            total = 0
-            for seed in range(8):
-                sample = mu.sample(seed=seed)
-                if is_triangle_free(sample.graph):
-                    continue
-                total += 1
-                hits += find_triangle_sim_low(
-                    sample.partition,
-                    SimLowParams(epsilon=0.2, delta=0.2, c=c),
-                    seed=seed,
-                ).found
-            rates.append(hits / max(1, total))
+            def protocol(partition, s, c=c):
+                if is_triangle_free(partition.graph):
+                    # Nothing to find: skip the run, as the old loop did.
+                    return DetectionResult(
+                        found=False, triangle=None,
+                        cost=CostSummary(0, 0, 0, 0, 0),
+                        details={"vacuous": True},
+                    )
+                return find_triangle_sim_low(
+                    partition, SimLowParams(epsilon=0.2, delta=0.2, c=c),
+                    seed=s,
+                )
+
+            result = run_sweep(
+                protocol, instance, [(mu.n, 0.0, 3)], trials=8, seed=0,
+                metrics=vacuous,
+            )
+            live = [r for r in result.records if not r.extras["vacuous"]]
+            hits = sum(1 for r in live if r.found)
+            rates.append(hits / max(1, len(live)))
         return rates
 
     rates = benchmark.pedantic(sweep, rounds=1, iterations=1)

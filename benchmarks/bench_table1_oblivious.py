@@ -5,22 +5,20 @@ O~(k sqrt(n)) on sparse inputs and O~(k (nd)^{1/3}) on dense ones.  We run
 it against the degree-aware references on both regimes and on adversarially
 skewed partitions (most players irrelevant), and check the overhead stays
 within the polylog budget.
+
+All trial execution routes through :mod:`repro.runtime` (``run_sweep``),
+so ``REPRO_WORKERS`` parallelises these sweeps too.
 """
 
 from __future__ import annotations
 
 import math
-import statistics
 
-from repro.analysis.table1 import row_oblivious
+from repro.analysis.experiments import run_sweep
+from repro.analysis.table1 import far_disjoint_instance, row_oblivious
 from repro.core.oblivious import ObliviousParams, find_triangle_sim_oblivious
-from repro.core.simultaneous_high import SimHighParams, find_triangle_sim_high
-from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
 from repro.graphs.generators import far_instance
-from repro.graphs.partition import (
-    partition_adversarial_skew,
-    partition_disjoint,
-)
+from repro.graphs.partition import partition_adversarial_skew
 
 
 def test_overhead_vs_degree_aware(benchmark, print_row):
@@ -38,23 +36,21 @@ def test_overhead_vs_degree_aware(benchmark, print_row):
 def test_both_regimes_detected(benchmark, print_row):
     params = ObliviousParams(epsilon=0.2, delta=0.1)
 
+    def protocol(partition, seed: int):
+        return find_triangle_sim_oblivious(partition, params, seed=seed)
+
     def sweep():
-        results = {}
-        sparse = far_instance(2400, 5.0, 0.2, seed=1)
-        sparse_partition = partition_disjoint(sparse.graph, 4, seed=2)
-        dense = far_instance(900, 30.0, 0.2, seed=3)
-        dense_partition = partition_disjoint(dense.graph, 4, seed=4)
-        for name, partition in (
-            ("sparse", sparse_partition), ("dense", dense_partition)
-        ):
-            hits = sum(
-                find_triangle_sim_oblivious(
-                    partition, params, seed=seed
-                ).found
-                for seed in range(4)
-            )
-            results[name] = hits / 4
-        return results
+        instance = far_disjoint_instance(epsilon=0.2, k=4)
+        sparse = run_sweep(
+            protocol, instance, [(2400, 5.0, 4)], trials=4, seed=1
+        )
+        dense = run_sweep(
+            protocol, instance, [(900, 30.0, 4)], trials=4, seed=3
+        )
+        return {
+            "sparse": sparse.points[0].detection_rate,
+            "dense": dense.points[0].detection_rate,
+        }
 
     rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
     benchmark.extra_info.update(rates)
@@ -68,25 +64,31 @@ def test_both_regimes_detected(benchmark, print_row):
 
 def test_skewed_partition_cost_bounded(benchmark, print_row):
     """Irrelevant players (tiny local density) must not blow up the cost:
-    their guess ranges sit below the truth and their instances are cheap."""
+    their guess ranges sit below the truth and their instances are cheap.
+
+    Balanced and skewed partitionings run at the same spec seeds, so both
+    cost medians are measured over the same underlying graphs.
+    """
     n, d, k = 2400, 5.0, 6
     params = ObliviousParams(epsilon=0.2, delta=0.2)
+    grid = [(n, d, k)]
+
+    def skewed(n_: int, d_: float, seed: int):
+        built = far_instance(n_, d_, 0.2, seed=seed)
+        return partition_adversarial_skew(
+            built.graph, k, seed=seed + 1, heavy_fraction=0.9
+        )
+
+    def protocol(partition, seed: int):
+        return find_triangle_sim_oblivious(partition, params, seed=seed)
 
     def run():
-        instance = far_instance(n, d, 0.2, seed=5)
-        balanced = partition_disjoint(instance.graph, k, seed=6)
-        skewed = partition_adversarial_skew(
-            instance.graph, k, seed=7, heavy_fraction=0.9
+        balanced = run_sweep(
+            protocol, far_disjoint_instance(epsilon=0.2, k=k),
+            grid, trials=3, seed=5,
         )
-        balanced_bits = statistics.median(
-            find_triangle_sim_oblivious(balanced, params, seed=s).total_bits
-            for s in range(3)
-        )
-        skewed_bits = statistics.median(
-            find_triangle_sim_oblivious(skewed, params, seed=s).total_bits
-            for s in range(3)
-        )
-        return balanced_bits, skewed_bits
+        skew = run_sweep(protocol, skewed, grid, trials=3, seed=5)
+        return balanced.points[0].median_bits, skew.points[0].median_bits
 
     balanced_bits, skewed_bits = benchmark.pedantic(
         run, rounds=1, iterations=1

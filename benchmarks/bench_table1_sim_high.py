@@ -3,17 +3,20 @@
 Regenerates the dense-regime column of Table 1's simultaneous row along the
 d = sqrt(n) diagonal, plus a fixed-n density sweep confirming the d^{1/3}
 dependence in isolation.
+
+All trial execution routes through :mod:`repro.runtime` (``run_sweep``),
+so ``REPRO_WORKERS`` parallelises these sweeps too.
 """
 
 from __future__ import annotations
 
+import math
 import statistics
 
-from repro.analysis.scaling import fit_power_law
-from repro.analysis.table1 import row_sim_high_upper
+from repro.analysis.experiments import run_sweep
+from repro.analysis.scaling import fit_axis
+from repro.analysis.table1 import far_disjoint_instance, row_sim_high_upper
 from repro.core.simultaneous_high import SimHighParams, find_triangle_sim_high
-from repro.graphs.generators import far_instance
-from repro.graphs.partition import partition_disjoint
 
 
 def test_exponent_on_nd(benchmark, print_row):
@@ -34,24 +37,16 @@ def test_density_sweep_at_fixed_n(benchmark, print_row):
     params = SimHighParams(epsilon=0.2, delta=0.2, c=2.0)
 
     def sweep():
-        costs = []
-        for d in densities:
-            bits = []
-            for seed in range(3):
-                instance = far_instance(n, d, 0.2, seed=seed)
-                partition = partition_disjoint(
-                    instance.graph, 3, seed=seed + 1
-                )
-                bits.append(
-                    find_triangle_sim_high(
-                        partition, params, seed=seed
-                    ).total_bits
-                )
-            costs.append(statistics.median(bits))
-        return costs
+        return run_sweep(
+            lambda partition, s: find_triangle_sim_high(
+                partition, params, seed=s
+            ),
+            far_disjoint_instance(epsilon=0.2, k=3),
+            [(n, d, 3) for d in densities], trials=3, seed=0,
+        )
 
-    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    fit = fit_power_law(densities, costs)
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fit = fit_axis(result.xs("d"), result.bits())
     benchmark.extra_info["d_exponent"] = fit.exponent
     print_row(
         f"T1-R2bd  sim-high density sweep at n={n}: bits ~ d^"
@@ -62,24 +57,18 @@ def test_density_sweep_at_fixed_n(benchmark, print_row):
 
 def test_detection_stays_high(benchmark, print_row):
     """The cheaper protocol still detects: rate >= 0.8 across the sweep."""
-    import math
-
     params = SimHighParams(epsilon=0.2, delta=0.1, c=2.0)
 
     def sweep():
-        hits = 0
-        total = 0
-        for n in (400, 900, 1600):
-            for seed in range(4):
-                instance = far_instance(n, math.sqrt(n), 0.2, seed=seed)
-                partition = partition_disjoint(
-                    instance.graph, 3, seed=seed + 1
-                )
-                hits += find_triangle_sim_high(
-                    partition, params, seed=seed
-                ).found
-                total += 1
-        return hits / total
+        result = run_sweep(
+            lambda partition, s: find_triangle_sim_high(
+                partition, params, seed=s
+            ),
+            far_disjoint_instance(epsilon=0.2, k=3),
+            [(n, math.sqrt(n), 3) for n in (400, 900, 1600)],
+            trials=4, seed=0,
+        )
+        return statistics.fmean(result.detection_rates())
 
     rate = benchmark.pedantic(sweep, rounds=1, iterations=1)
     benchmark.extra_info["detection_rate"] = rate

@@ -4,17 +4,19 @@ Regenerates the sparse-regime column of Table 1's simultaneous row: the
 n-sweep fits the exponent of communication against n (claimed 1/2), the
 k-sweep confirms linearity in k, and the detection rate on certified
 epsilon-far instances stays high throughout.
+
+All trial execution routes through :mod:`repro.runtime` (``run_sweep``),
+so ``REPRO_WORKERS`` parallelises these sweeps too.
 """
 
 from __future__ import annotations
 
-import statistics
-
-from repro.analysis.scaling import fit_power_law
+from repro.analysis.experiments import run_sweep
+from repro.analysis.scaling import fit_axis
 from repro.analysis.table1 import row_sim_low_upper
 from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
 from repro.graphs.generators import far_instance
-from repro.graphs.partition import partition_disjoint
+from repro.graphs.partition import partition_all_to_all, partition_disjoint
 
 
 def test_exponent_on_n(benchmark, print_row):
@@ -32,29 +34,24 @@ def test_linear_in_k(benchmark, print_row):
     may hold (and send) every sampled edge.  Under all-to-all duplication
     the k-sweep is linear; with disjoint inputs the k-dependence vanishes
     (Corollary 3.27 — see test_no_duplication_saves_factor_k)."""
-    from repro.graphs.partition import partition_all_to_all
-
     n, d = 2400, 6.0
     ks = [2, 4, 8, 16]
     params = SimLowParams(epsilon=0.2, delta=0.2)
 
-    def sweep():
-        costs = []
-        for k in ks:
-            bits = []
-            for seed in range(3):
-                instance = far_instance(n, d, 0.2, seed=seed)
-                partition = partition_all_to_all(instance.graph, k)
-                bits.append(
-                    find_triangle_sim_low(
-                        partition, params, seed=seed
-                    ).total_bits
-                )
-            costs.append(statistics.median(bits))
-        return costs
+    def instance(n_: int, d_: float, seed: int, k: int):
+        built = far_instance(n_, d_, 0.2, seed=seed)
+        return partition_all_to_all(built.graph, k)
 
-    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    fit = fit_power_law([float(k) for k in ks], costs)
+    def sweep():
+        return run_sweep(
+            lambda partition, s: find_triangle_sim_low(
+                partition, params, seed=s
+            ),
+            instance, [(n, d, k) for k in ks], trials=3, seed=0,
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fit = fit_axis(result.xs("k"), result.bits())
     benchmark.extra_info["k_exponent"] = fit.exponent
     print_row(
         f"T1-R2ak  sim-low k-sweep (worst-case duplication) at n={n}: "
@@ -65,27 +62,35 @@ def test_linear_in_k(benchmark, print_row):
 
 def test_no_duplication_saves_factor_k(benchmark, print_row):
     """Corollary 3.27: without duplication, total sends are O~(sqrt n),
-    independent of k — each distinct edge is sent by one player only."""
+    independent of k — each distinct edge is sent by one player only.
+
+    Both partitionings run through the runtime at the same spec seed, so
+    they see the same underlying graph.
+    """
     n, d, k = 2400, 6.0, 8
     params = SimLowParams(epsilon=0.2, delta=0.2)
+    grid = [(n, d, k)]
+
+    def disjoint(n_: int, d_: float, seed: int):
+        built = far_instance(n_, d_, 0.2, seed=seed)
+        return partition_disjoint(built.graph, k, seed=seed + 1)
+
+    def duplicated(n_: int, d_: float, seed: int):
+        built = far_instance(n_, d_, 0.2, seed=seed)
+        return partition_all_to_all(built.graph, k)
+
+    def protocol(partition, seed: int):
+        return find_triangle_sim_low(partition, params, seed=seed)
 
     def run():
-        from repro.graphs.partition import (
-            partition_all_to_all,
-            partition_disjoint,
-        )
+        without = run_sweep(protocol, disjoint, grid, trials=1, seed=7)
+        duped = run_sweep(protocol, duplicated, grid, trials=1, seed=7)
+        return without.records[0], duped.records[0]
 
-        instance = far_instance(n, d, 0.2, seed=7)
-        disjoint = find_triangle_sim_low(
-            partition_disjoint(instance.graph, k, seed=8), params, seed=9
-        )
-        duplicated = find_triangle_sim_low(
-            partition_all_to_all(instance.graph, k), params, seed=9
-        )
-        return disjoint, duplicated
-
-    disjoint, duplicated = benchmark.pedantic(run, rounds=1, iterations=1)
-    ratio = duplicated.total_bits / max(1, disjoint.total_bits)
+    disjoint_run, duplicated_run = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    ratio = duplicated_run.bits / max(1, disjoint_run.bits)
     benchmark.extra_info["duplication_ratio"] = ratio
     benchmark.extra_info["k"] = k
     print_row(

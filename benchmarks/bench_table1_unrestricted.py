@@ -5,20 +5,25 @@ communication against nd on triangle-free worst-case controls (a one-sided
 tester pays its maximum exactly when no triangle exists), and the k-sweep
 exhibits the additive k² term (the Θ~(k)-sample bucket loop, each sample
 costing Θ(k log n)).
+
+All trial execution routes through :mod:`repro.runtime` (``run_sweep``),
+so ``REPRO_WORKERS`` parallelises these sweeps too.
 """
 
 from __future__ import annotations
 
 import math
 import statistics
+from dataclasses import replace
 
-from repro.analysis.scaling import fit_power_law, strip_polylog
+from repro.analysis.experiments import run_sweep
+from repro.analysis.scaling import fit_axis
 from repro.analysis.table1 import (
     _tuned_unrestricted_params,
     row_unrestricted_upper,
 )
 from repro.core.unrestricted import find_triangle_unrestricted
-from repro.graphs.generators import triangle_free_degree_spread
+from repro.graphs.generators import far_instance, triangle_free_degree_spread
 from repro.graphs.partition import partition_disjoint
 
 
@@ -40,49 +45,50 @@ def test_k_squared_term(benchmark, print_row):
     O(k log n) interaction, gives the additive k² term.  The candidate cap
     is lifted to q so the sample loop runs in full (a capped loop hides the
     k² term behind the k-linear star broadcasts)."""
-    from dataclasses import replace
-
     n, d, epsilon = 2048, 8.0, 0.2
     ks = [2, 4, 8, 16]
 
     sampling_labels = ("SampleUniformFromB~i", "approx_degree")
 
-    def sampling_bits(result) -> int:
-        return sum(
-            bits
-            for label, bits in result.cost.bits_by_label.items()
-            if label.startswith(sampling_labels)
+    def instance(n_: int, d_: float, seed: int, k: int):
+        graph = triangle_free_degree_spread(
+            n_, d_, int(math.sqrt(n_ * d_ / epsilon)), seed=seed
         )
+        return partition_disjoint(graph, k=k, seed=seed + 1)
+
+    def protocol(partition, seed: int):
+        k = partition.k
+        params = replace(
+            _tuned_unrestricted_params(k, d),
+            samples_per_bucket=2 * k,
+            max_candidates=2 * k,
+        )
+        return find_triangle_unrestricted(partition, params, seed=seed)
+
+    def sampling_bits(_spec, _partition, result) -> dict:
+        return {
+            "sampling_bits": sum(
+                bits
+                for label, bits in result.cost.bits_by_label.items()
+                if label.startswith(sampling_labels)
+            )
+        }
 
     def sweep():
-        totals = []
-        sampling = []
-        for k in ks:
-            trial_total = []
-            trial_sampling = []
-            for seed in range(2):
-                graph = triangle_free_degree_spread(
-                    n, d, int(math.sqrt(n * d / epsilon)), seed=seed
-                )
-                partition = partition_disjoint(graph, k=k, seed=seed + 1)
-                params = replace(
-                    _tuned_unrestricted_params(k, d),
-                    samples_per_bucket=2 * k,
-                    max_candidates=2 * k,
-                )
-                result = find_triangle_unrestricted(
-                    partition, params, seed=seed + 2
-                )
-                trial_total.append(result.total_bits)
-                trial_sampling.append(sampling_bits(result))
-            totals.append(statistics.median(trial_total))
-            sampling.append(statistics.median(trial_sampling))
-        return totals, sampling
+        return run_sweep(
+            protocol, instance, [(n, d, k) for k in ks],
+            trials=2, seed=0, metrics=sampling_bits,
+        )
 
-    totals, sampling = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    totals = result.bits()
+    sampling = [
+        statistics.median(result.point_extras(i, "sampling_bits"))
+        for i in range(len(ks))
+    ]
     k_floats = [float(k) for k in ks]
-    total_fit = fit_power_law(k_floats, totals)
-    sampling_fit = fit_power_law(k_floats, sampling)
+    total_fit = fit_axis(k_floats, totals)
+    sampling_fit = fit_axis(k_floats, sampling)
     benchmark.extra_info["total_k_exponent"] = total_fit.exponent
     benchmark.extra_info["sampling_k_exponent"] = sampling_fit.exponent
     benchmark.extra_info["bits_per_k"] = dict(zip(ks, totals))
@@ -102,32 +108,38 @@ def test_early_exit_on_far_instance(benchmark, print_row):
     """On far inputs the protocol stops at B_min: O~(k sqrt(d(B_min)) + k²).
 
     Planted triangles live in the lowest buckets, so the found-path cost is
-    far below the worst-case control at the same size.
+    far below the worst-case control at the same size.  Both single-trial
+    runs route through the runtime with the same spec seed, so the only
+    difference is the instance construction.
     """
-    from repro.graphs.generators import far_instance
-
     n, d, k = 4096, 8.0, 3
-    instance = far_instance(n, d, 0.2, seed=1)
-    partition = partition_disjoint(instance.graph, k=k, seed=2)
-    control = triangle_free_degree_spread(
-        n, d, int(math.sqrt(n * d / 0.2)), seed=3
-    )
-    control_partition = partition_disjoint(control, k=k, seed=4)
     params = _tuned_unrestricted_params(k, d)
 
-    def run_both():
-        found = find_triangle_unrestricted(partition, params, seed=5)
-        control_run = find_triangle_unrestricted(
-            control_partition, params, seed=5
-        )
-        return found, control_run
+    def far(n_: int, d_: float, seed: int):
+        built = far_instance(n_, d_, 0.2, seed=seed)
+        return partition_disjoint(built.graph, k=k, seed=seed + 1)
 
-    found, control_run = benchmark.pedantic(run_both, rounds=1, iterations=1)
-    benchmark.extra_info["found_bits"] = found.total_bits
-    benchmark.extra_info["worst_case_bits"] = control_run.total_bits
+    def control(n_: int, d_: float, seed: int):
+        graph = triangle_free_degree_spread(
+            n_, d_, int(math.sqrt(n_ * d_ / 0.2)), seed=seed
+        )
+        return partition_disjoint(graph, k=k, seed=seed + 1)
+
+    def protocol(partition, seed: int):
+        return find_triangle_unrestricted(partition, params, seed=seed)
+
+    def run_pair():
+        grid = [(n, d, k)]
+        found = run_sweep(protocol, far, grid, trials=1, seed=5)
+        worst = run_sweep(protocol, control, grid, trials=1, seed=5)
+        return found.records[0], worst.records[0]
+
+    found, control_run = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    benchmark.extra_info["found_bits"] = found.bits
+    benchmark.extra_info["worst_case_bits"] = control_run.bits
     print_row(
-        f"T1-R1e   early exit: far-instance cost {found.total_bits}b vs "
-        f"worst-case control {control_run.total_bits}b at n={n}"
+        f"T1-R1e   early exit: far-instance cost {found.bits:.0f}b vs "
+        f"worst-case control {control_run.bits:.0f}b at n={n}"
     )
     assert found.found
-    assert found.total_bits < control_run.total_bits
+    assert found.bits < control_run.bits

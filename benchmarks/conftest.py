@@ -5,6 +5,12 @@ communication quantities the paper's Table 1 is actually about in
 ``benchmark.extra_info`` — bits, fitted exponents, detection rates — and
 prints its table row(s), so running ``pytest benchmarks/ --benchmark-only``
 regenerates the paper's results summary as measured numbers.
+
+Import-path policy: there are deliberately no ``sys.path`` hacks here or
+in ``tests/``.  Both suites resolve :mod:`repro` the same two ways —
+``pip install -e .`` (packaged install), or plain ``pytest`` from the
+repo root, where ``[tool.pytest.ini_options] pythonpath = ["src"]`` in
+``pyproject.toml`` is the single source of path setup.
 """
 
 from __future__ import annotations

@@ -1,0 +1,129 @@
+"""Bench-smoke: one tiny grid point per Table 1 driver family, serially.
+
+CI's fast harness-rot check: every protocol the ``bench_table1_*``
+drivers measure runs one miniature trial batch through the runtime's
+:class:`~repro.runtime.executor.SerialExecutor`.  Seconds, not minutes —
+it asserts the harness *runs* and stays deterministic, not that the
+paper's exponents hold (the full drivers do that).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke.py
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from dataclasses import replace
+
+from repro.analysis.experiments import run_sweep
+from repro.analysis.table1 import (
+    _tuned_unrestricted_params,
+    far_disjoint_instance,
+)
+from repro.core.exact_baseline import exact_triangle_detection
+from repro.core.oblivious import ObliviousParams, find_triangle_sim_oblivious
+from repro.core.simultaneous_high import SimHighParams, find_triangle_sim_high
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+from repro.core.unrestricted import find_triangle_unrestricted
+from repro.graphs.generators import triangle_free_degree_spread
+from repro.graphs.partition import partition_disjoint
+from repro.runtime import InstanceCache, SerialExecutor
+
+
+def _trifree_instance(n: int, d: float, seed: int):
+    graph = triangle_free_degree_spread(
+        n, d, int(math.sqrt(n * d / 0.2)), seed=seed
+    )
+    return partition_disjoint(graph, k=3, seed=seed + 1)
+
+
+def smoke_points() -> list[tuple[str, object, object, tuple[int, float, int]]]:
+    """(driver, protocol, instance_fn, grid point) per bench family."""
+    k = 3
+    return [
+        (
+            "bench_table1_unrestricted",
+            lambda p, s: find_triangle_unrestricted(
+                p, _tuned_unrestricted_params(k, 8.0), seed=s
+            ),
+            _trifree_instance,
+            (512, 8.0, k),
+        ),
+        (
+            "bench_table1_sim_low",
+            lambda p, s: find_triangle_sim_low(
+                p, SimLowParams(epsilon=0.2, delta=0.2), seed=s
+            ),
+            far_disjoint_instance(epsilon=0.2, k=k),
+            (400, 6.0, k),
+        ),
+        (
+            "bench_table1_sim_high",
+            lambda p, s: find_triangle_sim_high(
+                p, SimHighParams(epsilon=0.2, delta=0.2, c=2.0), seed=s
+            ),
+            far_disjoint_instance(epsilon=0.2, k=k),
+            (400, 20.0, k),
+        ),
+        (
+            "bench_table1_oblivious",
+            lambda p, s: find_triangle_sim_oblivious(
+                p, ObliviousParams(epsilon=0.2, delta=0.2), seed=s
+            ),
+            far_disjoint_instance(epsilon=0.2, k=k),
+            (400, 6.0, k),
+        ),
+        (
+            "bench_table1_lower_bounds/exact-baseline",
+            lambda p, _s: exact_triangle_detection(p),
+            far_disjoint_instance(epsilon=0.2, k=k),
+            (400, 6.0, k),
+        ),
+        (
+            "bench_ablations/blackboard",
+            lambda p, s: find_triangle_unrestricted(
+                p,
+                replace(_tuned_unrestricted_params(k, 8.0), blackboard=True),
+                seed=s,
+            ),
+            _trifree_instance,
+            (512, 8.0, k),
+        ),
+    ]
+
+
+def main() -> int:
+    executor = SerialExecutor()
+    cache = InstanceCache()
+    failures = 0
+    for name, protocol, instance_fn, point in smoke_points():
+        try:
+            sweep = run_sweep(
+                protocol, instance_fn, [point], trials=2, seed=0,
+                executor=executor, cache=cache,
+                instance_key=f"smoke:{name}",
+            )
+            repeat = run_sweep(
+                protocol, instance_fn, [point], trials=2, seed=0,
+                executor=executor, cache=cache,
+                instance_key=f"smoke:{name}",
+            )
+            if sweep.records != repeat.records:
+                raise AssertionError("non-deterministic records")
+            bits = sweep.points[0].median_bits
+            print(f"ok   {name:<44} {point} median={bits:.0f}b")
+        except Exception as exc:  # noqa: BLE001 — report every family
+            failures += 1
+            print(f"FAIL {name:<44} {point} {exc!r}")
+    stats = cache.stats()
+    print(
+        f"cache: {stats['hits']} hits / {stats['misses']} misses "
+        f"({stats['entries']} entries)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,11 @@
 """Command-line Table 1 regeneration: ``python -m repro.analysis``.
 
 Options:
-  --full    run the larger sweeps (slower, tighter fits)
-  --seed N  base seed (default 0)
-  --row ID  run a single row by id (e.g. T1-R2a, X-1, L4.5)
+  --full       run the larger sweeps (slower, tighter fits)
+  --seed N     base seed (default 0)
+  --row ID     run a single row by id (e.g. T1-R2a, X-1, L4.5)
+  --workers N  process-pool width for sweeps (0 = all cores; default:
+               the REPRO_WORKERS env var, else serial)
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import sys
 
 from repro.analysis import table1
 from repro.analysis.table1 import generate_table1
+from repro.runtime import resolve_workers
 
 ROWS_BY_ID = {
     "T1-R1": table1.row_unrestricted_upper,
@@ -39,18 +42,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--row", type=str, default=None,
                         help="run one row by id, e.g. "
                              + ", ".join(ROWS_BY_ID))
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width for sweeps "
+                             "(0 = all cores; default REPRO_WORKERS)")
     args = parser.parse_args(argv)
+
+    try:  # surface a bad --workers/REPRO_WORKERS before any sweep runs
+        resolve_workers(args.workers)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     quick = not args.full
     if args.row is None:
-        print(generate_table1(quick=quick, seed=args.seed))
+        print(generate_table1(quick=quick, seed=args.seed,
+                              workers=args.workers))
         return 0
     row_fn = ROWS_BY_ID.get(args.row.upper())
     if row_fn is None:
         print(f"unknown row id {args.row!r}; known: "
               + ", ".join(ROWS_BY_ID), file=sys.stderr)
         return 2
-    print(row_fn(quick=quick, seed=args.seed).formatted())
+    print(row_fn(quick=quick, seed=args.seed,
+                 workers=args.workers).formatted())
     return 0
 
 

@@ -1,8 +1,17 @@
 """Sweep runner: execute protocols over (n, d, k) grids and collect costs.
 
 Each sweep point runs a protocol on freshly generated epsilon-far instances
-over several seeds and records median communication and detection rate.
-The records feed :mod:`repro.analysis.scaling` fits and the Table 1 harness.
+over several derived seeds and records median communication and detection
+rate.  The records feed :mod:`repro.analysis.scaling` fits and the Table 1
+harness.
+
+Execution is delegated to :mod:`repro.runtime`: the grid expands into
+:class:`~repro.runtime.spec.TrialSpec`s with deterministic per-trial
+seeds, an executor (serial, or a process pool selected by ``workers=`` /
+the ``REPRO_WORKERS`` env var) runs them, and the per-trial
+:class:`~repro.runtime.spec.TrialResult` records are aggregated into
+:class:`SweepPoint`s.  Serial and parallel runs of the same sweep seed
+produce identical records.
 """
 
 from __future__ import annotations
@@ -14,6 +23,13 @@ from typing import Callable, Sequence
 from repro.core.results import DetectionResult
 from repro.graphs.generators import far_instance
 from repro.graphs.partition import EdgePartition, partition_disjoint
+from repro.runtime import (
+    Executor,
+    InstanceCache,
+    TrialResult,
+    build_specs,
+    run_trials,
+)
 
 __all__ = ["SweepPoint", "SweepResult", "run_sweep", "default_instance"]
 
@@ -36,9 +52,15 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """All points of one sweep, with fit-ready accessors."""
+    """All points of one sweep, with fit-ready accessors.
+
+    ``records`` keeps the raw per-trial results (spec order) so callers
+    can aggregate custom metrics recorded through the runtime's
+    ``metrics`` hook.
+    """
 
     points: list[SweepPoint] = field(default_factory=list)
+    records: list[TrialResult] = field(default_factory=list)
 
     def xs(self, key: str) -> list[float]:
         if key == "n":
@@ -57,6 +79,13 @@ class SweepResult:
     def detection_rates(self) -> list[float]:
         return [p.detection_rate for p in self.points]
 
+    def point_records(self, point_index: int) -> list[TrialResult]:
+        return [r for r in self.records if r.point_index == point_index]
+
+    def point_extras(self, point_index: int, key: str) -> list:
+        """The per-trial ``extras[key]`` values at one grid point."""
+        return [r.extras[key] for r in self.point_records(point_index)]
+
 
 def default_instance(epsilon: float = 0.2,
                      k: int = 3) -> InstanceFn:
@@ -69,27 +98,13 @@ def default_instance(epsilon: float = 0.2,
     return build
 
 
-def run_sweep(protocol: ProtocolFn, instance_fn: InstanceFn,
-              grid: Sequence[tuple[int, float, int]],
-              trials: int = 3, seed: int = 0) -> SweepResult:
-    """Run ``protocol`` at every (n, d, k) grid point, ``trials`` seeds each.
-
-    ``instance_fn(n, d, seed)`` must honour k itself (close over it); the
-    k recorded in the point is taken from the produced partition.
-    """
-    if trials < 1:
-        raise ValueError(f"trials must be positive, got {trials}")
-    result = SweepResult()
-    for index, (n, d, k) in enumerate(grid):
-        costs: list[float] = []
-        detections = 0
-        for trial in range(trials):
-            point_seed = seed + 104_729 * index + trial
-            partition = instance_fn(n, d, point_seed)
-            outcome = protocol(partition, point_seed)
-            costs.append(float(outcome.total_bits))
-            if outcome.found:
-                detections += 1
+def _aggregate(grid: Sequence[tuple[int, float, int]], trials: int,
+               records: list[TrialResult]) -> SweepResult:
+    result = SweepResult(records=records)
+    for point_index, (n, d, k) in enumerate(grid):
+        point = [r for r in records if r.point_index == point_index]
+        costs = [r.bits for r in point]
+        detections = sum(1 for r in point if r.found)
         result.points.append(
             SweepPoint(
                 n=n,
@@ -102,3 +117,44 @@ def run_sweep(protocol: ProtocolFn, instance_fn: InstanceFn,
             )
         )
     return result
+
+
+def run_sweep(protocol: ProtocolFn, instance_fn: InstanceFn,
+              grid: Sequence[tuple[int, float, int]],
+              trials: int = 3, seed: int = 0, *,
+              workers: int | None = None,
+              executor: Executor | None = None,
+              cache: InstanceCache | None = None,
+              instance_key: str | None = None,
+              metrics=None) -> SweepResult:
+    """Run ``protocol`` at every (n, d, k) grid point, ``trials`` seeds each.
+
+    ``instance_fn(n, d, seed)`` must honour k itself (close over it); the
+    k recorded in the point is taken from the grid.
+
+    Keyword knobs (all optional, defaults reproduce the serial harness):
+
+    workers:
+        Process-pool width; ``None`` defers to ``REPRO_WORKERS`` (unset
+        means serial), ``0`` or negative means all cores.  Identical
+        records either way — only wall-clock changes.
+    executor:
+        A pre-built :class:`~repro.runtime.executor.Executor`, overriding
+        ``workers``.
+    cache / instance_key:
+        Share generated instances with other sweeps: pass the same
+        :class:`~repro.runtime.cache.InstanceCache` and the same key to
+        every sweep comparing protocols on the same construction.
+    metrics:
+        ``(spec, instance, outcome) -> dict`` recorded per trial into
+        ``SweepResult.records[...].extras``.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    specs = build_specs(grid, trials, seed)
+    records = run_trials(
+        protocol, instance_fn, specs,
+        workers=workers, executor=executor,
+        cache=cache, instance_key=instance_key, metrics=metrics,
+    )
+    return _aggregate(grid, trials, records)

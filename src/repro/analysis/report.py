@@ -17,6 +17,7 @@ import time
 from pathlib import Path
 
 from repro.analysis.table1 import ALL_ROWS, RowReport
+from repro.runtime import shared_cache
 
 __all__ = ["build_report", "write_report"]
 
@@ -30,18 +31,30 @@ def _render_row(report: RowReport) -> str:
     )
 
 
-def build_report(quick: bool = True, seed: int = 0) -> str:
-    """Run all rows and render the markdown report text."""
+def build_report(quick: bool = True, seed: int = 0,
+                 workers: int | None = None) -> str:
+    """Run all rows and render the markdown report text.
+
+    ``workers`` fans the sweep-backed rows out over a process pool (see
+    :mod:`repro.runtime`); one instance cache is shared across rows,
+    with a temporary disk tier in parallel mode so forked workers can
+    reuse instances earlier rows generated.
+    """
     started = time.time()
     rows: list[tuple[RowReport, float]] = []
-    for row_fn in ALL_ROWS:
-        t0 = time.time()
-        rows.append((row_fn(quick=quick, seed=seed), time.time() - t0))
+    with shared_cache(workers) as cache:
+        for row_fn in ALL_ROWS:
+            t0 = time.time()
+            rows.append((
+                row_fn(quick=quick, seed=seed, workers=workers, cache=cache),
+                time.time() - t0,
+            ))
     total = time.time() - started
     lines = [
         "# Table 1 reproduction report",
         "",
-        f"- mode: {'quick' if quick else 'full'}, seed {seed}",
+        f"- mode: {'quick' if quick else 'full'}, seed {seed}, "
+        f"workers {workers if workers is not None else 'serial/env'}",
         f"- python {sys.version.split()[0]} on {platform.platform()}",
         f"- total runtime: {total:.1f}s",
         "",
@@ -64,9 +77,9 @@ def build_report(quick: bool = True, seed: int = 0) -> str:
     return "\n".join(lines)
 
 
-def write_report(path: str | Path, quick: bool = True, seed: int = 0
-                 ) -> Path:
+def write_report(path: str | Path, quick: bool = True, seed: int = 0,
+                 workers: int | None = None) -> Path:
     """Run the suite and write the report; returns the written path."""
     target = Path(path)
-    target.write_text(build_report(quick=quick, seed=seed))
+    target.write_text(build_report(quick=quick, seed=seed, workers=workers))
     return target

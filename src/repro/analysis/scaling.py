@@ -19,7 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["PowerLawFit", "fit_power_law", "strip_polylog"]
+__all__ = ["PowerLawFit", "fit_power_law", "strip_polylog", "fit_axis"]
 
 
 @dataclass(frozen=True)
@@ -83,3 +83,16 @@ def strip_polylog(values: Sequence[float], sizes: Sequence[float],
             raise ValueError(f"sizes must exceed 1, got {size}")
         stripped.append(value / math.log2(size) ** log_power)
     return stripped
+
+
+def fit_axis(xs: Sequence[float], ys: Sequence[float],
+             log_power: float = 0.0) -> PowerLawFit:
+    """Strip a polylog factor (if any) and fit the power law in one step.
+
+    The standard move of every upper-bound row: a bound O~(x^a) is
+    checked by fitting ``y / log2(x)^log_power`` against x.
+    ``log_power=0`` is a plain fit.
+    """
+    if log_power:
+        ys = strip_polylog(ys, xs, log_power=log_power)
+    return fit_power_law(xs, ys)

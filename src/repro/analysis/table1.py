@@ -17,17 +17,26 @@ with scaled-down sample constants (identical functional forms — see
 DESIGN.md) and, for the unrestricted protocol, on triangle-free
 degree-spread controls, because a one-sided tester pays its worst-case
 cost exactly when no triangle is ever found.
+
+Every row accepts ``workers=`` (process-pool width for its sweeps,
+``None`` defers to the ``REPRO_WORKERS`` env var) and ``cache=`` (a
+shared :class:`~repro.runtime.cache.InstanceCache` so rows comparing
+protocols on the same construction reuse instances).  Rows whose
+measurement is not sweep-shaped accept both for harness uniformity and
+run serially.  Records are independent of ``workers``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import math
 import statistics
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.analysis.experiments import SweepResult, run_sweep
-from repro.analysis.scaling import PowerLawFit, fit_power_law, strip_polylog
+from repro.analysis.experiments import run_sweep
+from repro.analysis.scaling import fit_axis
+from repro.runtime import InstanceCache, shared_cache
 from repro.comm.simultaneous import SimultaneousRun, run_simultaneous
 from repro.core.degree_approx import DegreeApproxParams
 from repro.core.exact_baseline import exact_triangle_detection
@@ -104,6 +113,24 @@ class RowReport:
 # ----------------------------------------------------------------------
 # Shared sweep configurations
 # ----------------------------------------------------------------------
+
+# Instance-cache keys: one per construction, shared by every row (and
+# benchmark driver) measuring protocols on that construction, so a shared
+# InstanceCache serves identical inputs to all of them.
+FAR_DISJOINT_KEY = "far-eps0.2-disjoint"
+TRIFREE_SPREAD_KEY = "trifree-spread-eps0.2-disjoint"
+
+
+def far_disjoint_instance(epsilon: float, k: int):
+    """The canonical Table 1 instance: epsilon-far graph, k-partitioned."""
+
+    def build(n: int, d: float, seed: int) -> EdgePartition:
+        built = far_instance(n, d, epsilon=epsilon, seed=seed)
+        return partition_disjoint(built.graph, k=k, seed=seed + 1)
+
+    return build
+
+
 def _tuned_unrestricted_params(k: int, d: float) -> UnrestrictedParams:
     """Scaled-down constants, identical functional forms (see DESIGN.md)."""
     return UnrestrictedParams(
@@ -122,7 +149,9 @@ def _tuned_unrestricted_params(k: int, d: float) -> UnrestrictedParams:
     )
 
 
-def row_unrestricted_upper(quick: bool = True, seed: int = 0) -> RowReport:
+def row_unrestricted_upper(quick: bool = True, seed: int = 0, *,
+                           workers: int | None = None,
+                           cache: InstanceCache | None = None) -> RowReport:
     """T1-R1: unrestricted upper bound O~(k (nd)^{1/4} + k²).
 
     Measured on triangle-free degree-spread controls (worst-case path: the
@@ -153,12 +182,11 @@ def row_unrestricted_upper(quick: bool = True, seed: int = 0) -> RowReport:
     sweep = run_sweep(
         protocol, instance, [(n, d, k) for n in ns],
         trials=3 if quick else 5, seed=seed,
+        workers=workers, cache=cache, instance_key=TRIFREE_SPREAD_KEY,
     )
-    nds = sweep.xs("nd")
     # The dominant SampleEdges term carries one log n factor (edge ids)
     # times the sqrt(log n) inside p; strip one log before fitting.
-    stripped = strip_polylog(sweep.bits(), nds, log_power=1.0)
-    fit = fit_power_law(nds, stripped)
+    fit = fit_axis(sweep.xs("nd"), sweep.bits(), log_power=1.0)
     return RowReport(
         row_id="T1-R1",
         description="triangle-freeness, unrestricted, upper",
@@ -170,24 +198,22 @@ def row_unrestricted_upper(quick: bool = True, seed: int = 0) -> RowReport:
     )
 
 
-def row_sim_low_upper(quick: bool = True, seed: int = 0) -> RowReport:
+def row_sim_low_upper(quick: bool = True, seed: int = 0, *,
+                      workers: int | None = None,
+                      cache: InstanceCache | None = None) -> RowReport:
     """T1-R2a: simultaneous, d = O(sqrt(n)): O~(k sqrt(n))."""
     ns = [600, 1200, 2400, 4800] if quick else [600, 1200, 2400, 4800, 9600]
     d = 6.0
     k = 3
     params = SimLowParams(epsilon=0.2, delta=0.2)
 
-    def instance(n: int, density: float, instance_seed: int) -> EdgePartition:
-        built = far_instance(n, density, epsilon=0.2, seed=instance_seed)
-        return partition_disjoint(built.graph, k=k, seed=instance_seed + 1)
-
     sweep = run_sweep(
         lambda partition, s: find_triangle_sim_low(partition, params, seed=s),
-        instance, [(n, d, k) for n in ns],
+        far_disjoint_instance(epsilon=0.2, k=k), [(n, d, k) for n in ns],
         trials=3, seed=seed,
+        workers=workers, cache=cache, instance_key=FAR_DISJOINT_KEY,
     )
-    stripped = strip_polylog(sweep.bits(), sweep.xs("n"), log_power=1.0)
-    fit = fit_power_law(sweep.xs("n"), stripped)
+    fit = fit_axis(sweep.xs("n"), sweep.bits(), log_power=1.0)
     detection = statistics.fmean(sweep.detection_rates())
     return RowReport(
         row_id="T1-R2a",
@@ -200,23 +226,21 @@ def row_sim_low_upper(quick: bool = True, seed: int = 0) -> RowReport:
     )
 
 
-def row_sim_high_upper(quick: bool = True, seed: int = 0) -> RowReport:
+def row_sim_high_upper(quick: bool = True, seed: int = 0, *,
+                       workers: int | None = None,
+                       cache: InstanceCache | None = None) -> RowReport:
     """T1-R2b: simultaneous, d = Ω(sqrt(n)): O~(k (nd)^{1/3})."""
     ns = [400, 900, 1600, 2500] if quick else [400, 900, 1600, 2500, 3600]
     k = 3
     params = SimHighParams(epsilon=0.2, delta=0.2, c=2.0)
 
-    def instance(n: int, density: float, instance_seed: int) -> EdgePartition:
-        built = far_instance(n, density, epsilon=0.2, seed=instance_seed)
-        return partition_disjoint(built.graph, k=k, seed=instance_seed + 1)
-
     grid = [(n, math.sqrt(n), k) for n in ns]
     sweep = run_sweep(
         lambda partition, s: find_triangle_sim_high(partition, params, seed=s),
-        instance, grid, trials=3, seed=seed,
+        far_disjoint_instance(epsilon=0.2, k=k), grid, trials=3, seed=seed,
+        workers=workers, cache=cache, instance_key=FAR_DISJOINT_KEY,
     )
-    stripped = strip_polylog(sweep.bits(), sweep.xs("nd"), log_power=1.0)
-    fit = fit_power_law(sweep.xs("nd"), stripped)
+    fit = fit_axis(sweep.xs("nd"), sweep.bits(), log_power=1.0)
     detection = statistics.fmean(sweep.detection_rates())
     return RowReport(
         row_id="T1-R2b",
@@ -229,24 +253,42 @@ def row_sim_high_upper(quick: bool = True, seed: int = 0) -> RowReport:
     )
 
 
-def row_oblivious(quick: bool = True, seed: int = 0) -> RowReport:
-    """T1-R2c: degree-oblivious simultaneous within polylog of degree-aware."""
+def row_oblivious(quick: bool = True, seed: int = 0, *,
+                  workers: int | None = None,
+                  cache: InstanceCache | None = None) -> RowReport:
+    """T1-R2c: degree-oblivious simultaneous within polylog of degree-aware.
+
+    Both protocols run through the runtime on the *same* instances: the
+    two sweeps share an instance key and cache, so the degree-aware
+    sweep's generated inputs are served back to the oblivious sweep.
+    """
     n = 1600 if quick else 4800
     d = 6.0
     k = 4
     trials = 3 if quick else 6
-    ratios: list[float] = []
-    for trial in range(trials):
-        built = far_instance(n, d, epsilon=0.2, seed=seed + trial)
-        partition = partition_disjoint(built.graph, k=k, seed=seed + trial + 1)
-        aware = find_triangle_sim_low(
-            partition, SimLowParams(epsilon=0.2, delta=0.2), seed=seed + trial
+    grid = [(n, d, k)]
+    instance = far_disjoint_instance(epsilon=0.2, k=k)
+    with contextlib.ExitStack() as stack:
+        if cache is None:  # standalone call: provision a mode-matched cache
+            cache = stack.enter_context(shared_cache(workers))
+        aware = run_sweep(
+            lambda partition, s: find_triangle_sim_low(
+                partition, SimLowParams(epsilon=0.2, delta=0.2), seed=s
+            ),
+            instance, grid, trials=trials, seed=seed,
+            workers=workers, cache=cache, instance_key=FAR_DISJOINT_KEY,
         )
-        oblivious = find_triangle_sim_oblivious(
-            partition, ObliviousParams(epsilon=0.2, delta=0.2),
-            seed=seed + trial,
+        oblivious = run_sweep(
+            lambda partition, s: find_triangle_sim_oblivious(
+                partition, ObliviousParams(epsilon=0.2, delta=0.2), seed=s
+            ),
+            instance, grid, trials=trials, seed=seed,
+            workers=workers, cache=cache, instance_key=FAR_DISJOINT_KEY,
         )
-        ratios.append(oblivious.total_bits / max(1, aware.total_bits))
+    ratios = [
+        o.bits / max(1, a.bits)
+        for a, o in zip(aware.records, oblivious.records)
+    ]
     polylog = math.log2(n) ** 2
     measured = statistics.fmean(ratios)
     return RowReport(
@@ -260,23 +302,26 @@ def row_oblivious(quick: bool = True, seed: int = 0) -> RowReport:
     )
 
 
-def row_exact_baseline(quick: bool = True, seed: int = 0) -> RowReport:
-    """X-1: exact detection pays Θ(nd) — the [38] regime testing escapes."""
+def row_exact_baseline(quick: bool = True, seed: int = 0, *,
+                       workers: int | None = None,
+                       cache: InstanceCache | None = None) -> RowReport:
+    """X-1: exact detection pays Θ(nd) — the [38] regime testing escapes.
+
+    Same construction and instance key as the sim-low sweep: with a
+    shared cache the baseline is measured on the very instances the
+    tester ran on (where the grids coincide).
+    """
     ns = [600, 1200, 2400, 4800]
     d = 6.0
     k = 3
 
-    def instance(n: int, density: float, instance_seed: int) -> EdgePartition:
-        built = far_instance(n, density, epsilon=0.2, seed=instance_seed)
-        return partition_disjoint(built.graph, k=k, seed=instance_seed + 1)
-
     sweep = run_sweep(
         lambda partition, _s: exact_triangle_detection(partition),
-        instance, [(n, d, k) for n in ns],
+        far_disjoint_instance(epsilon=0.2, k=k), [(n, d, k) for n in ns],
         trials=2, seed=seed,
+        workers=workers, cache=cache, instance_key=FAR_DISJOINT_KEY,
     )
-    stripped = strip_polylog(sweep.bits(), sweep.xs("nd"), log_power=1.0)
-    fit = fit_power_law(sweep.xs("nd"), stripped)
+    fit = fit_axis(sweep.xs("nd"), sweep.bits(), log_power=1.0)
     return RowReport(
         row_id="X-1",
         description="exact detection baseline ([38] regime)",
@@ -288,9 +333,14 @@ def row_exact_baseline(quick: bool = True, seed: int = 0) -> RowReport:
     )
 
 
-def row_oneway_streaming_lower(quick: bool = True, seed: int = 0
+def row_oneway_streaming_lower(quick: bool = True, seed: int = 0, *,
+                               workers: int | None = None,
+                               cache: InstanceCache | None = None
                                ) -> RowReport:
     """T1-R3: one-way / streaming hardness evidence on µ.
+
+    Construction-shaped (not a protocol sweep): ``workers``/``cache``
+    are accepted for harness uniformity; the measurement runs serially.
 
     The Ω((nd)^{1/6}) bound (Ω(n^{1/4}) at d = Θ(sqrt n)) cannot be
     measured directly; we run the reservoir streaming finder on µ samples
@@ -342,8 +392,13 @@ def row_oneway_streaming_lower(quick: bool = True, seed: int = 0
     )
 
 
-def row_sim_covered_lower(quick: bool = True, seed: int = 0) -> RowReport:
+def row_sim_covered_lower(quick: bool = True, seed: int = 0, *,
+                          workers: int | None = None,
+                          cache: InstanceCache | None = None) -> RowReport:
     """T1-R4: covered-edge counts vs message budget (exact posteriors).
+
+    Exact computation, no trials: ``workers``/``cache`` accepted for
+    harness uniformity only.
 
     The expected covered *mass* Σ Pr[Cov(e)] is budget-invariant (tower
     rule); what a bigger message buys is *certainty* — pairs whose
@@ -408,8 +463,14 @@ def _sketch_protocol(max_edges: int) -> Callable[[EdgePartition, int],
     return run
 
 
-def row_symmetrization(quick: bool = True, seed: int = 0) -> RowReport:
-    """T1-R5: the Theorem 4.15 identity E|Pi'| = (2/k) CC(Pi)."""
+def row_symmetrization(quick: bool = True, seed: int = 0, *,
+                       workers: int | None = None,
+                       cache: InstanceCache | None = None) -> RowReport:
+    """T1-R5: the Theorem 4.15 identity E|Pi'| = (2/k) CC(Pi).
+
+    ``workers``/``cache`` accepted for harness uniformity; the identity
+    check runs serially inside :func:`verify_cost_identity`.
+    """
     k = 6
     mu = MuDistribution(part_size=18, gamma=1.0)
     report = verify_cost_identity(
@@ -427,8 +488,14 @@ def row_symmetrization(quick: bool = True, seed: int = 0) -> RowReport:
     )
 
 
-def row_bm_lower(quick: bool = True, seed: int = 0) -> RowReport:
-    """T1-R6: the BM reduction dichotomy behind the Omega(sqrt n) bound."""
+def row_bm_lower(quick: bool = True, seed: int = 0, *,
+                 workers: int | None = None,
+                 cache: InstanceCache | None = None) -> RowReport:
+    """T1-R6: the BM reduction dichotomy behind the Omega(sqrt n) bound.
+
+    ``workers``/``cache`` accepted for harness uniformity; the dichotomy
+    check runs serially.
+    """
     n = 24 if quick else 64
     trials = 10 if quick else 40
     verified = 0
@@ -458,8 +525,14 @@ def row_bm_lower(quick: bool = True, seed: int = 0) -> RowReport:
     )
 
 
-def row_mu_farness(quick: bool = True, seed: int = 0) -> RowReport:
-    """Lemma 4.5 support: µ samples are far w.p. >= 1/2."""
+def row_mu_farness(quick: bool = True, seed: int = 0, *,
+                   workers: int | None = None,
+                   cache: InstanceCache | None = None) -> RowReport:
+    """Lemma 4.5 support: µ samples are far w.p. >= 1/2.
+
+    ``workers``/``cache`` accepted for harness uniformity; the estimate
+    runs serially.
+    """
     mu = MuDistribution(part_size=30 if quick else 60, gamma=1.2)
     probability = estimate_far_probability(
         mu, trials=10 if quick else 30, seed=seed
@@ -489,13 +562,25 @@ ALL_ROWS = [
 ]
 
 
-def generate_table1(quick: bool = True, seed: int = 0) -> str:
-    """Run every row and render the reproduction of Table 1."""
+def generate_table1(quick: bool = True, seed: int = 0,
+                    workers: int | None = None) -> str:
+    """Run every row and render the reproduction of Table 1.
+
+    One cache is shared across rows, so rows measuring different
+    protocols on the same construction (the far-disjoint family) reuse
+    each other's generated instances; in parallel mode the cache gets a
+    temporary disk tier, since instances built inside forked workers
+    only cross process boundaries through disk.
+    """
     lines = [
         "Table 1 reproduction — paper bound vs measured "
         f"({'quick' if quick else 'full'} mode)",
         "-" * 118,
     ]
-    for row_fn in ALL_ROWS:
-        lines.append(row_fn(quick=quick, seed=seed).formatted())
+    with shared_cache(workers) as cache:
+        for row_fn in ALL_ROWS:
+            lines.append(
+                row_fn(quick=quick, seed=seed, workers=workers,
+                       cache=cache).formatted()
+            )
     return "\n".join(lines)

@@ -16,7 +16,6 @@ benchmarking these baselines against the Section 3 testers
 from __future__ import annotations
 
 from repro.comm.encoding import edge_bits
-from repro.comm.ledger import CommunicationLedger
 from repro.comm.players import make_players
 from repro.comm.simultaneous import run_simultaneous
 from repro.core.results import DetectionResult

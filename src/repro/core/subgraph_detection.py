@@ -22,10 +22,9 @@ one-sided outcomes).
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.comm.encoding import edge_bits
 from repro.comm.players import Player, make_players

@@ -42,7 +42,6 @@ from repro.comm.encoding import (
     indicator_bits,
     vertex_bits,
 )
-from repro.comm.ledger import CommunicationLedger
 from repro.comm.players import Player, make_players
 from repro.comm.randomness import SharedRandomness
 from repro.core.degree_approx import (

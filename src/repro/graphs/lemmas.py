@@ -26,7 +26,6 @@ from dataclasses import dataclass
 
 from repro.graphs.buckets import (
     bucket_bounds,
-    bucket_vee_count,
     buckets,
     degree_thresholds,
     disjoint_vee_count,

@@ -15,7 +15,6 @@ restates the transferred bounds so benchmarks can tabulate them.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.graphs.generators import embed_in_larger_graph

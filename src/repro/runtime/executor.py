@@ -1,0 +1,255 @@
+"""Trial executors: serial and process-pool-parallel with identical output.
+
+The contract every executor honours: given the same :class:`TrialTask`
+and the same spec list, ``run_trials`` returns the same
+:class:`~repro.runtime.spec.TrialResult` list in the same (spec) order.
+Parallelism changes wall-clock only, never records — each trial's
+randomness is fully determined by its spec's derived seed, so there is
+no shared RNG state to race on.
+
+``ParallelExecutor`` distributes work over a ``fork``-context
+``ProcessPoolExecutor``.  Protocol and instance callables are typically
+closures (every Table 1 row builds them inline), which do not pickle;
+instead of pickling them per call, the active task is parked in a module
+global immediately before the pool forks, so workers inherit it through
+copy-on-write and only the small ``TrialSpec`` / ``TrialResult``
+dataclasses ever cross the pipe.  Platforms without ``fork`` fall back
+to the serial path transparently.
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+import inspect
+import math
+import multiprocessing
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.runtime.cache import InstanceCache
+from repro.runtime.spec import TrialResult, TrialSpec
+
+__all__ = [
+    "TrialTask",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "resolve_workers",
+    "default_executor",
+    "run_trials",
+    "shared_cache",
+]
+
+#: Any callable mapping an ``EdgePartition``-like instance and a seed to an
+#: object exposing ``total_bits`` and ``found`` (e.g. ``DetectionResult``).
+ProtocolFn = Callable[..., object]
+InstanceFn = Callable[[int, float, int], object]
+MetricsFn = Callable[[TrialSpec, object, object], dict]
+
+
+class TrialTask:
+    """Executes one spec: build (or fetch) the instance, run the protocol.
+
+    Parameters
+    ----------
+    instance_fn:
+        ``(n, d, seed) -> instance``; must close over anything else it
+        needs (epsilon, ...), mirroring the historical ``run_sweep``
+        contract.  A builder that declares a ``k`` keyword parameter is
+        instead called ``(n, d, seed, k=spec.k)`` so one builder can
+        serve k-sweeps.
+    protocol:
+        ``(instance, seed) -> outcome`` where the outcome exposes
+        ``total_bits`` and ``found``.
+    cache / instance_key:
+        When both are given, instances are memoised under
+        ``(instance_key, n, d, k, seed)`` so other tasks with the same
+        key reuse them; pick one key per instance *construction*.
+    metrics:
+        Optional ``(spec, instance, outcome) -> dict`` hook whose result
+        lands in ``TrialResult.extras`` (picklable primitives only).
+    """
+
+    def __init__(self, instance_fn: InstanceFn, protocol: ProtocolFn, *,
+                 cache: InstanceCache | None = None,
+                 instance_key: str | None = None,
+                 metrics: MetricsFn | None = None) -> None:
+        self.instance_fn = instance_fn
+        self.protocol = protocol
+        self.cache = cache
+        self.instance_key = instance_key
+        self.metrics = metrics
+        try:
+            parameters = inspect.signature(instance_fn).parameters
+            self._pass_k = "k" in parameters
+        except (TypeError, ValueError):  # builtins / C callables
+            self._pass_k = False
+
+    def cache_key(self, spec: TrialSpec) -> tuple:
+        return (self.instance_key, spec.n, spec.d, spec.k, spec.seed)
+
+    def _build(self, spec: TrialSpec) -> object:
+        if self._pass_k:
+            return self.instance_fn(spec.n, spec.d, spec.seed, k=spec.k)
+        return self.instance_fn(spec.n, spec.d, spec.seed)
+
+    def build_instance(self, spec: TrialSpec) -> object:
+        if self.cache is not None and self.instance_key is not None:
+            return self.cache.get_or_build(
+                self.cache_key(spec), lambda: self._build(spec)
+            )
+        return self._build(spec)
+
+    def __call__(self, spec: TrialSpec) -> TrialResult:
+        instance = self.build_instance(spec)
+        outcome = self.protocol(instance, spec.seed)
+        extras = (
+            self.metrics(spec, instance, outcome)
+            if self.metrics is not None else None
+        )
+        return TrialResult.from_outcome(
+            spec,
+            bits=outcome.total_bits,
+            found=outcome.found,
+            extras=extras,
+        )
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Worker-count policy: explicit arg > ``REPRO_WORKERS`` env > serial.
+
+    Zero or negative means "all cores".
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+class Executor(abc.ABC):
+    """Runs trials; subclasses choose how, never what."""
+
+    @abc.abstractmethod
+    def run_trials(self, task: Callable[[TrialSpec], TrialResult],
+                   specs: Iterable[TrialSpec]) -> list[TrialResult]:
+        """Execute every spec, returning results in spec order."""
+
+
+class SerialExecutor(Executor):
+    """In-process execution — the reference the parallel path must match."""
+
+    def run_trials(self, task: Callable[[TrialSpec], TrialResult],
+                   specs: Iterable[TrialSpec]) -> list[TrialResult]:
+        return [task(spec) for spec in specs]
+
+
+# The task a ParallelExecutor is currently running, parked here right
+# before the pool forks so workers inherit it via copy-on-write.
+_ACTIVE_TASK: Callable[[TrialSpec], TrialResult] | None = None
+
+
+def _run_active_task(spec: TrialSpec) -> TrialResult:
+    if _ACTIVE_TASK is None:
+        raise RuntimeError("no active task in worker; pool misconfigured")
+    return _ACTIVE_TASK(spec)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ParallelExecutor(Executor):
+    """Fan trials out over a fork-based process pool, in chunks.
+
+    ``workers=None`` means all cores.  Falls back to serial execution
+    when there is nothing to parallelise (one worker, one spec), when
+    ``fork`` is unavailable, or when re-entered from within another
+    parallel run (the fork-shared task slot is single-occupancy).
+    """
+
+    def __init__(self, workers: int | None = None,
+                 chunk_size: int | None = None) -> None:
+        self.workers = (
+            resolve_workers(workers) if workers is not None
+            else (os.cpu_count() or 1)
+        )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+
+    def _chunk(self, total: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        # ~4 chunks per worker balances scheduling overhead against the
+        # skew of heterogeneous grid points (big-n trials dwarf small-n).
+        return max(1, math.ceil(total / (self.workers * 4)))
+
+    def run_trials(self, task: Callable[[TrialSpec], TrialResult],
+                   specs: Iterable[TrialSpec]) -> list[TrialResult]:
+        global _ACTIVE_TASK
+        spec_list = list(specs)
+        workers = min(self.workers, len(spec_list))
+        if (workers <= 1 or not _fork_available()
+                or _ACTIVE_TASK is not None):
+            return SerialExecutor().run_trials(task, spec_list)
+        _ACTIVE_TASK = task
+        try:
+            context = multiprocessing.get_context("fork")
+            with _PoolExecutor(max_workers=workers,
+                               mp_context=context) as pool:
+                return list(
+                    pool.map(_run_active_task, spec_list,
+                             chunksize=self._chunk(len(spec_list)))
+                )
+        finally:
+            _ACTIVE_TASK = None
+
+
+@contextlib.contextmanager
+def shared_cache(workers: int | None = None,
+                 max_entries: int = 128) -> Iterator[InstanceCache]:
+    """Yield an :class:`InstanceCache` matched to the execution mode.
+
+    Serial runs get a memory-only cache (same-process reuse suffices).
+    Parallel runs add a temporary disk tier: instances a worker builds
+    die with the worker, so only the disk tier lets the workers of a
+    *later* sweep reuse what an earlier sweep generated.  The directory
+    is removed when the context exits.
+    """
+    if resolve_workers(workers) <= 1:
+        yield InstanceCache(max_entries=max_entries)
+        return
+    with tempfile.TemporaryDirectory(prefix="repro-instance-cache-") as tmp:
+        yield InstanceCache(max_entries=max_entries, disk_dir=tmp)
+
+
+def default_executor(workers: int | None = None) -> Executor:
+    """Serial for one worker, parallel otherwise (after env resolution)."""
+    count = resolve_workers(workers)
+    return SerialExecutor() if count <= 1 else ParallelExecutor(count)
+
+
+def run_trials(protocol: ProtocolFn, instance_fn: InstanceFn,
+               specs: Sequence[TrialSpec], *,
+               workers: int | None = None,
+               executor: Executor | None = None,
+               cache: InstanceCache | None = None,
+               instance_key: str | None = None,
+               metrics: MetricsFn | None = None) -> list[TrialResult]:
+    """One-call convenience: wrap the callables in a task and execute."""
+    task = TrialTask(instance_fn, protocol, cache=cache,
+                     instance_key=instance_key, metrics=metrics)
+    chosen = executor if executor is not None else default_executor(workers)
+    return chosen.run_trials(task, specs)

@@ -1,0 +1,94 @@
+"""Trial data model: what to run (`TrialSpec`) and what happened
+(`TrialResult`).
+
+Specs and results are plain frozen dataclasses of primitives so they
+cross process boundaries cheaply — the heavyweight objects (graphs,
+partitions, protocol closures) never travel; workers rebuild them from
+the spec's seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.runtime.seeding import derive_seed
+
+__all__ = ["TrialSpec", "TrialResult", "build_specs"]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One trial to execute: a grid point, a trial index, a derived seed.
+
+    ``seed`` drives both instance generation and protocol coins, exactly
+    as the serial harness always did, so any two protocols given the same
+    spec see the same input instance.
+    """
+
+    point_index: int
+    trial_index: int
+    n: int
+    d: float
+    k: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One trial's outcome, echoing the spec coordinates it came from.
+
+    ``extras`` holds optional per-trial metrics (picklable primitives
+    only) recorded by a :class:`~repro.runtime.executor.TrialTask`
+    metrics hook.
+    """
+
+    point_index: int
+    trial_index: int
+    n: int
+    d: float
+    k: int
+    seed: int
+    bits: float
+    found: bool
+    extras: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_outcome(cls, spec: TrialSpec, bits: float, found: bool,
+                     extras: dict | None = None) -> "TrialResult":
+        return cls(
+            point_index=spec.point_index,
+            trial_index=spec.trial_index,
+            n=spec.n,
+            d=spec.d,
+            k=spec.k,
+            seed=spec.seed,
+            bits=float(bits),
+            found=bool(found),
+            extras=dict(extras) if extras else {},
+        )
+
+
+def build_specs(grid: Sequence[tuple[int, float, int]], trials: int,
+                sweep_seed: int) -> list[TrialSpec]:
+    """Expand an (n, d, k) grid into one spec per (point, trial).
+
+    Specs come out in deterministic row-major order — point major, trial
+    minor — which is also the order executors return results in.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    specs: list[TrialSpec] = []
+    for point_index, (n, d, k) in enumerate(grid):
+        for trial_index in range(trials):
+            specs.append(
+                TrialSpec(
+                    point_index=point_index,
+                    trial_index=trial_index,
+                    n=n,
+                    d=d,
+                    k=k,
+                    seed=derive_seed(sweep_seed, point_index, trial_index),
+                )
+            )
+    return specs

@@ -1,0 +1,22 @@
+"""Shared env setup for tests that spawn Python subprocesses.
+
+Child processes must resolve ``repro`` exactly as the test process
+does, whether it came from the packaged install or pyproject's
+``pythonpath`` (which only applies inside pytest, not to children).
+"""
+
+import os
+import pathlib
+
+import repro
+
+
+def child_env() -> dict[str, str]:
+    """os.environ with repro's parent dir prepended to PYTHONPATH."""
+    repro_parent = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [repro_parent]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env

@@ -76,9 +76,10 @@ class TestAmplify:
     def test_stop_early_saves(self):
         instance = far_instance(800, 5.0, 0.25, seed=9)
         partition = partition_disjoint(instance.graph, 3, seed=10)
-        protocol = lambda p, s: find_triangle_sim_low(
-            p, SimLowParams(epsilon=0.25, delta=0.1), seed=s
-        )
+        def protocol(p, s):
+            return find_triangle_sim_low(
+                p, SimLowParams(epsilon=0.25, delta=0.1), seed=s
+            )
         eager = amplify(protocol, partition, rounds=6, seed=11)
         batch = amplify(
             protocol, partition, rounds=6, seed=11, stop_early=False

@@ -1,6 +1,5 @@
 """Tests for the covered/reported posterior machinery (repro.lowerbounds.covered)."""
 
-import math
 
 import pytest
 

@@ -11,7 +11,11 @@ import sys
 
 import pytest
 
+from env_helpers import child_env
+
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+_CHILD_ENV = child_env()
 
 CASES = [
     ("quickstart.py", "one-sided error check"),
@@ -31,7 +35,7 @@ def test_example_runs(script, landmark):
     assert path.exists(), f"missing example {script}"
     result = subprocess.run(
         [sys.executable, str(path)],
-        capture_output=True, text=True, timeout=600,
+        capture_output=True, text=True, timeout=600, env=_CHILD_ENV,
     )
     assert result.returncode == 0, (
         f"{script} failed:\n{result.stderr[-2000:]}"

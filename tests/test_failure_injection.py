@@ -6,9 +6,7 @@ sound; degenerate topologies (empty graphs, k=1, k > n, all-isolated
 inputs, promise violations) must be handled.
 """
 
-import math
 
-import pytest
 
 from repro.core.degree_approx import DegreeApproxParams
 from repro.core.oblivious import ObliviousParams, find_triangle_sim_oblivious

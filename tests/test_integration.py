@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.comm import CoordinatorRuntime, SharedRandomness, make_players
 from repro.core import (

@@ -87,7 +87,8 @@ class TestRankedMinima:
         assert player.first_incident_edge_under_rank(9, rank) is None
 
     def test_first_edge_under_rank(self, player):
-        rank = lambda edge: edge  # lexicographic
+        def rank(edge):
+            return edge  # lexicographic
         assert player.first_edge_under_rank(rank) == (0, 1)
 
     def test_first_edge_empty_input(self):
@@ -125,7 +126,8 @@ class TestHarvesting:
         assert not player.any_incident_neighbor_in(0, lambda u: u == 7)
 
     def test_any_edge_index_in(self, player):
-        index_of = lambda edge: edge[0] * 10 + edge[1]
+        def index_of(edge):
+            return edge[0] * 10 + edge[1]
         assert player.any_edge_index_in(index_of, lambda i: i == 1)
         assert not player.any_edge_index_in(index_of, lambda i: i == 99)
 

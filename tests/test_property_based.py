@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for core data structures & invariants."""
 
-import math
 
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
@@ -14,7 +13,7 @@ from repro.comm.encoding import (
 from repro.comm.players import Player
 from repro.comm.randomness import SharedRandomness
 from repro.graphs.buckets import bucket_bounds, bucket_index
-from repro.graphs.graph import Graph, canonical_edge
+from repro.graphs.graph import Graph
 from repro.graphs.partition import partition_disjoint
 from repro.graphs.triangles import (
     count_triangles,

@@ -3,10 +3,11 @@
 import subprocess
 import sys
 
-import pytest
-
+from env_helpers import child_env
 from repro.analysis.report import build_report, write_report
 from repro.analysis.__main__ import ROWS_BY_ID, main
+
+_CHILD_ENV = child_env()
 
 
 class TestCli:
@@ -31,7 +32,7 @@ class TestCli:
     def test_module_invocation(self):
         result = subprocess.run(
             [sys.executable, "-m", "repro.analysis", "--row", "L4.5"],
-            capture_output=True, text=True, timeout=300,
+            capture_output=True, text=True, timeout=300, env=_CHILD_ENV,
         )
         assert result.returncode == 0
         assert "L4.5" in result.stdout
