@@ -87,15 +87,26 @@ class SweepResult:
         return [r.extras[key] for r in self.point_records(point_index)]
 
 
+@dataclass(frozen=True)
+class DefaultInstanceBuilder:
+    """Picklable ``(n, d, seed) -> EdgePartition`` builder.
+
+    A dataclass rather than a closure so spawn-method process pools (no
+    fork: Windows, macOS defaults, Python 3.14+) can ship it to workers.
+    """
+
+    epsilon: float
+    k: int
+
+    def __call__(self, n: int, d: float, seed: int) -> EdgePartition:
+        instance = far_instance(n=n, d=d, epsilon=self.epsilon, seed=seed)
+        return partition_disjoint(instance.graph, k=self.k, seed=seed + 1)
+
+
 def default_instance(epsilon: float = 0.2,
                      k: int = 3) -> InstanceFn:
     """Planted epsilon-far instances, disjointly partitioned among k."""
-
-    def build(n: int, d: float, seed: int) -> EdgePartition:
-        instance = far_instance(n=n, d=d, epsilon=epsilon, seed=seed)
-        return partition_disjoint(instance.graph, k=k, seed=seed + 1)
-
-    return build
+    return DefaultInstanceBuilder(epsilon=epsilon, k=k)
 
 
 def _aggregate(grid: Sequence[tuple[int, float, int]], trials: int,

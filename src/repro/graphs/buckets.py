@@ -29,7 +29,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.graphs.graph import Edge, Graph
+from repro.graphs.graph import Edge, Graph, iter_bits
 
 __all__ = [
     "log2n",
@@ -111,15 +111,18 @@ def disjoint_vee_count(graph: Graph, source: int, exact: bool = True) -> int:
     non-trivial neighbourhoods); otherwise a greedy maximal matching gives
     a certified lower bound at half the cost.
     """
-    neighbours = graph.neighbors(source)
-    if len(neighbours) < 2:
+    nmask = graph.neighbor_mask(source)
+    if nmask.bit_count() < 2:
         return 0
+    # Closing edges = edges of the graph induced on N(source): one mask
+    # intersection per neighbour instead of a has_edge per pair.
     closing: list[Edge] = []
-    ordered = sorted(neighbours)
-    for i, u in enumerate(ordered):
-        for w in ordered[i + 1:]:
-            if graph.has_edge(u, w):
-                closing.append((u, w))
+    for u in iter_bits(nmask):
+        partners = (graph.neighbor_mask(u) & nmask) >> (u + 1)
+        while partners:
+            low = partners & -partners
+            closing.append((u, u + low.bit_length()))
+            partners ^= low
     if not closing:
         return 0
     if not exact:

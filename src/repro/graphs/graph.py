@@ -2,19 +2,35 @@
 
 Vertices are integers ``0 .. n-1``; edges are canonical ordered pairs
 ``(u, v)`` with ``u < v``.  The class is deliberately small and dependency
-free — protocols manipulate millions of edge membership queries and the
-adjacency-set representation keeps those O(1).
+free — protocols manipulate millions of edge membership queries, and the
+representation is a *bitset kernel*: each vertex stores its neighbourhood
+as one arbitrary-precision Python ``int`` whose bit ``v`` is set iff the
+edge ``{u, v}`` exists.  Consequences:
+
+* ``has_edge`` is a shift-and-test,
+* ``degree`` is ``int.bit_count()``,
+* common neighbourhoods (the triangle hot path) are a single ``&`` of two
+  ints, executed word-at-a-time in C instead of element-wise in Python,
+* ``copy`` is a shallow list copy (ints are immutable).
 
 The paper's model hands each player a *characteristic vector* over potential
 edges; :class:`Graph` is the ground-truth union of those vectors, and
 :mod:`repro.graphs.partition` produces the per-player views.
+
+Bulk primitives (:meth:`Graph.neighbor_mask`, :meth:`Graph.common_neighbors`,
+:meth:`Graph.add_edges`, :meth:`Graph.add_neighbors`, plus the module-level
+:func:`iter_bits` / :func:`mask_of`) expose the masks directly so the
+triangle layer, generators, bucketing, and the streaming reduction can stay
+on the fast path without reaching into private state.  A pure-Python
+``set``-based twin lives in :mod:`repro.graphs.reference` for differential
+testing.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-__all__ = ["Graph", "canonical_edge"]
+__all__ = ["Graph", "canonical_edge", "iter_bits", "mask_of"]
 
 Edge = tuple[int, int]
 
@@ -24,6 +40,22 @@ def canonical_edge(u: int, v: int) -> Edge:
     if u == v:
         raise ValueError(f"self-loop ({u}, {v}) is not a valid edge")
     return (u, v) if u < v else (v, u)
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set-bit positions of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of(vertices: Iterable[int]) -> int:
+    """The bitmask with exactly the bits in ``vertices`` set."""
+    mask = 0
+    for v in vertices:
+        mask |= 1 << v
+    return mask
 
 
 class Graph:
@@ -44,7 +76,7 @@ class Graph:
         if n < 0:
             raise ValueError(f"vertex count must be non-negative, got {n}")
         self._n = n
-        self._adjacency: list[set[int]] = [set() for _ in range(n)]
+        self._adjacency: list[int] = [0] * n
         self._edge_count = 0
         for u, v in edges:
             self.add_edge(u, v)
@@ -57,29 +89,62 @@ class Graph:
         u, v = canonical_edge(u, v)
         self._check_vertex(u)
         self._check_vertex(v)
-        if v in self._adjacency[u]:
+        adjacency = self._adjacency
+        if adjacency[u] >> v & 1:
             return False
-        self._adjacency[u].add(v)
-        self._adjacency[v].add(u)
+        adjacency[u] |= 1 << v
+        adjacency[v] |= 1 << u
         self._edge_count += 1
         return True
+
+    def add_edges(self, edges: Iterable[Edge]) -> int:
+        """Bulk insert; returns the number of edges that were new."""
+        added = 0
+        for u, v in edges:
+            added += self.add_edge(u, v)
+        return added
+
+    def add_neighbors(self, u: int, mask: int) -> int:
+        """Attach every vertex in ``mask`` to ``u``; returns #new edges.
+
+        The bulk form generators use to commit a whole sampled row at
+        once instead of edge-by-edge.
+        """
+        self._check_vertex(u)
+        if mask < 0 or mask >> self._n:
+            raise ValueError(
+                f"neighbor mask has bits outside [0, {self._n})"
+            )
+        if mask >> u & 1:
+            raise ValueError(f"self-loop ({u}, {u}) is not a valid edge")
+        adjacency = self._adjacency
+        new = mask & ~adjacency[u]
+        if not new:
+            return 0
+        adjacency[u] |= new
+        bit_u = 1 << u
+        for v in iter_bits(new):
+            adjacency[v] |= bit_u
+        added = new.bit_count()
+        self._edge_count += added
+        return added
 
     def remove_edge(self, u: int, v: int) -> bool:
         """Delete {u, v}; returns True if the edge was present."""
         u, v = canonical_edge(u, v)
         self._check_vertex(u)
         self._check_vertex(v)
-        if v not in self._adjacency[u]:
+        adjacency = self._adjacency
+        if not adjacency[u] >> v & 1:
             return False
-        self._adjacency[u].discard(v)
-        self._adjacency[v].discard(u)
+        adjacency[u] &= ~(1 << v)
+        adjacency[v] &= ~(1 << u)
         self._edge_count -= 1
         return True
 
     def copy(self) -> "Graph":
         clone = Graph(self._n)
-        for u in range(self._n):
-            clone._adjacency[u] = set(self._adjacency[u])
+        clone._adjacency = self._adjacency.copy()
         clone._edge_count = self._edge_count
         return clone
 
@@ -104,15 +169,35 @@ class Graph:
             return False
         self._check_vertex(u)
         self._check_vertex(v)
-        return v in self._adjacency[u]
+        return bool(self._adjacency[u] >> v & 1)
 
     def degree(self, v: int) -> int:
         self._check_vertex(v)
-        return len(self._adjacency[v])
+        return self._adjacency[v].bit_count()
 
     def neighbors(self, v: int) -> frozenset[int]:
         self._check_vertex(v)
-        return frozenset(self._adjacency[v])
+        return frozenset(iter_bits(self._adjacency[v]))
+
+    def neighbor_mask(self, v: int) -> int:
+        """N(v) as a bitmask — the raw kernel word."""
+        self._check_vertex(v)
+        return self._adjacency[v]
+
+    def adjacency_rows(self) -> list[int]:
+        """The adjacency masks, indexed by vertex — treat as READ-ONLY.
+
+        The hot loops (triangle layer, benchmarks) index this list
+        directly to skip per-call bounds checks; mutating it would
+        desynchronise the edge count and the symmetry invariant.
+        """
+        return self._adjacency
+
+    def common_neighbors(self, u: int, v: int) -> int:
+        """N(u) ∩ N(v) as a bitmask: one ``&`` of two ints."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return self._adjacency[u] & self._adjacency[v]
 
     def average_degree(self) -> float:
         """``2|E| / n`` — the ``d`` of the paper's complexity bounds."""
@@ -122,16 +207,18 @@ class Graph:
 
     def edges(self) -> Iterator[Edge]:
         """All edges in canonical orientation, ascending."""
-        for u in range(self._n):
-            for v in self._adjacency[u]:
-                if u < v:
-                    yield (u, v)
+        for u, mask in enumerate(self._adjacency):
+            upper = mask >> (u + 1)
+            while upper:
+                low = upper & -upper
+                yield (u, u + low.bit_length())
+                upper ^= low
 
     def edge_set(self) -> set[Edge]:
         return set(self.edges())
 
     def degrees(self) -> list[int]:
-        return [len(adj) for adj in self._adjacency]
+        return [mask.bit_count() for mask in self._adjacency]
 
     def isolated_vertices(self) -> list[int]:
         return [v for v in range(self._n) if not self._adjacency[v]]
@@ -141,37 +228,49 @@ class Graph:
     # ------------------------------------------------------------------
     def induced_subgraph_edges(self, vertices: Iterable[int]) -> set[Edge]:
         """Edges with both endpoints in ``vertices`` (Section 3.1 primitive)."""
-        vertex_set = set(vertices)
+        vertex_mask = self._checked_mask(vertices)
         found: set[Edge] = set()
-        for u in vertex_set:
-            self._check_vertex(u)
-            for v in self._adjacency[u]:
-                if v in vertex_set and u < v:
-                    found.add((u, v))
+        for u in iter_bits(vertex_mask):
+            inner = (self._adjacency[u] & vertex_mask) >> (u + 1)
+            while inner:
+                low = inner & -inner
+                found.add((u, u + low.bit_length()))
+                inner ^= low
         return found
 
     def edges_touching(self, vertices: Iterable[int]) -> set[Edge]:
         """Edges with at least one endpoint in ``vertices``."""
-        vertex_set = set(vertices)
+        vertex_mask = self._checked_mask(vertices)
         found: set[Edge] = set()
-        for u in vertex_set:
-            self._check_vertex(u)
-            for v in self._adjacency[u]:
-                found.add(canonical_edge(u, v))
+        for u in iter_bits(vertex_mask):
+            for v in iter_bits(self._adjacency[u]):
+                found.add((u, v) if u < v else (v, u))
         return found
 
     def subgraph(self, vertices: Iterable[int]) -> "Graph":
         """Induced subgraph, preserving vertex ids (others become isolated)."""
-        return Graph(self._n, self.induced_subgraph_edges(vertices))
+        vertex_mask = self._checked_mask(vertices)
+        clone = Graph(self._n)
+        total_degree = 0
+        for u in iter_bits(vertex_mask):
+            row = self._adjacency[u] & vertex_mask
+            clone._adjacency[u] = row
+            total_degree += row.bit_count()
+        clone._edge_count = total_degree // 2
+        return clone
 
     def union(self, other: "Graph") -> "Graph":
         if other.n != self._n:
             raise ValueError(
                 f"vertex-count mismatch: {self._n} vs {other.n}"
             )
-        merged = self.copy()
-        for u, v in other.edges():
-            merged.add_edge(u, v)
+        merged = Graph(self._n)
+        total_degree = 0
+        for u in range(self._n):
+            row = self._adjacency[u] | other._adjacency[u]
+            merged._adjacency[u] = row
+            total_degree += row.bit_count()
+        merged._edge_count = total_degree // 2
         return merged
 
     # ------------------------------------------------------------------
@@ -204,3 +303,10 @@ class Graph:
     def _check_vertex(self, v: int) -> None:
         if not 0 <= v < self._n:
             raise ValueError(f"vertex {v} outside range [0, {self._n})")
+
+    def _checked_mask(self, vertices: Iterable[int]) -> int:
+        mask = 0
+        for v in vertices:
+            self._check_vertex(v)
+            mask |= 1 << v
+        return mask

@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.graphs.graph import Edge, Graph
+from repro.graphs.graph import Edge, Graph, iter_bits, mask_of
 
 __all__ = ["HighLowSplit", "high_low_split"]
 
@@ -55,12 +55,20 @@ def high_low_split(graph: Graph, epsilon: float) -> HighLowSplit:
         v for v in range(n) if graph.degree(v) >= threshold
     )
     low = frozenset(range(n)) - high
-    high_high = frozenset(
-        (u, v) for u, v in graph.edges() if u in high and v in high
-    )
+    # E_h and G_l in one mask pass: a high vertex's high-high partners
+    # are its adjacency row intersected with the high-vertex mask.
+    high_mask = mask_of(high)
+    high_high_edges: list[Edge] = []
     low_graph = graph.copy()
-    for u, v in high_high:
-        low_graph.remove_edge(u, v)
+    for u in iter_bits(high_mask):
+        partners = (graph.neighbor_mask(u) & high_mask) >> (u + 1)
+        while partners:
+            bit = partners & -partners
+            v = u + bit.bit_length()
+            high_high_edges.append((u, v))
+            low_graph.remove_edge(u, v)
+            partners ^= bit
+    high_high = frozenset(high_high_edges)
     return HighLowSplit(
         threshold=threshold,
         high_vertices=high,

@@ -35,8 +35,7 @@ from repro.graphs.buckets import (
     min_full_bucket,
     neighborhood,
 )
-from repro.graphs.graph import Graph
-from repro.graphs.triangles import close_vee
+from repro.graphs.graph import Graph, mask_of
 
 __all__ = [
     "LemmaCheck",
@@ -156,14 +155,12 @@ def check_lemma_3_9(graph: Graph, source: int, trials: int = 60,
     hits = 0
     for _ in range(trials):
         sampled = [u for u in neighbours if rng.random() < p]
-        found = False
-        for i, u in enumerate(sampled):
-            for w in sampled[i + 1:]:
-                if close_vee(graph, (source, u), (source, w)) is not None:
-                    found = True
-                    break
-            if found:
-                break
+        # A sampled vee closes iff two sampled neighbours are adjacent:
+        # one mask intersection per sampled vertex decides the trial.
+        sampled_mask = mask_of(sampled)
+        found = any(
+            graph.neighbor_mask(u) & sampled_mask for u in sampled
+        )
         hits += found
     rate = hits / trials
     return LemmaCheck(

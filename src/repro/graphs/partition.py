@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.graphs.graph import Edge, Graph
+from repro.graphs.graph import Edge, Graph, canonical_edge
 
 __all__ = [
     "EdgePartition",
@@ -45,16 +45,29 @@ class EdgePartition:
     views: tuple[frozenset[Edge], ...]
 
     def __post_init__(self) -> None:
-        union: set[Edge] = set()
+        # Covering invariant via the bitset kernel: OR every view into
+        # per-vertex masks and XOR against the ground truth's adjacency
+        # rows — each mismatched edge shows up as two set bits.
+        union_rows = [0] * self.graph.n
+        out_of_universe: set[Edge] = set()
         for view in self.views:
-            union.update(view)
-        truth = self.graph.edge_set()
-        if union != truth:
-            missing = truth - union
-            extra = union - truth
+            for u, v in view:
+                u, v = canonical_edge(u, v)
+                if u < 0 or v >= self.graph.n:
+                    out_of_universe.add((u, v))  # spurious by definition
+                    continue
+                union_rows[u] |= 1 << v
+                union_rows[v] |= 1 << u
+        extra = 2 * len(out_of_universe)
+        missing = 0
+        for v, row in enumerate(union_rows):
+            truth_row = self.graph.neighbor_mask(v)
+            missing += (truth_row & ~row).bit_count()
+            extra += (row & ~truth_row).bit_count()
+        if missing or extra:
             raise ValueError(
                 "partition does not cover the graph exactly: "
-                f"{len(missing)} missing, {len(extra)} spurious edges"
+                f"{missing // 2} missing, {extra // 2} spurious edges"
             )
 
     @property

@@ -17,13 +17,20 @@ general, but the paper only ever uses farness through one consequence
 The packing lower bound is what generators use to *certify* that a produced
 instance really satisfies the promise, so protocol correctness tests never
 depend on an uncertified farness claim.
+
+Everything here runs on the bitset kernel: a common neighbourhood is one
+``&`` of two adjacency masks, and enumeration walks set bits in ascending
+order, so all outputs are deterministic (vertices ascending) and match the
+order-normalized reference implementations in :mod:`repro.graphs.reference`
+bit for bit.
 """
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Iterable, Iterator
 
-from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.graph import Edge, Graph, canonical_edge, iter_bits
 
 __all__ = [
     "find_triangle",
@@ -51,32 +58,61 @@ def _canonical_triangle(a: int, b: int, c: int) -> Triangle:
 
 
 def find_triangle(graph: Graph) -> Triangle | None:
-    """Return some triangle of ``graph`` or ``None``.
+    """Return the first triangle in ascending order, or ``None``.
 
-    Iterates edges and intersects endpoint neighbourhoods — O(sum of
-    min-degree over edges), fine at reproduction scales.
+    Scans edges ascending; the first edge whose endpoints share a
+    neighbour closes with the lowest such apex.
     """
-    for u, v in graph.edges():
-        smaller, larger = (
-            (u, v) if graph.degree(u) <= graph.degree(v) else (v, u)
-        )
-        for w in graph.neighbors(smaller):
-            if w != larger and graph.has_edge(w, larger):
-                return _canonical_triangle(u, v, w)
+    rows = graph.adjacency_rows()
+    for u in range(graph.n):
+        row_u = rows[u]
+        upper = row_u >> (u + 1)
+        while upper:
+            low = upper & -upper
+            v = u + low.bit_length()
+            common = row_u & rows[v]
+            if common:
+                apex = common & -common
+                return _canonical_triangle(u, v, apex.bit_length() - 1)
+            upper ^= low
     return None
 
 
 def iter_triangles(graph: Graph) -> Iterator[Triangle]:
     """Yield every triangle exactly once (vertices ascending)."""
-    for u, v in graph.edges():
-        common = graph.neighbors(u) & graph.neighbors(v)
-        for w in common:
-            if w > v:  # u < v < w guarantees uniqueness
-                yield (u, v, w)
+    rows = graph.adjacency_rows()
+    for u in range(graph.n):
+        upper = rows[u] >> (u + 1)
+        row_u = rows[u]
+        while upper:
+            low = upper & -upper
+            v = u + low.bit_length()
+            above = (row_u & rows[v]) >> (v + 1)
+            while above:
+                apex = above & -above
+                yield (u, v, v + apex.bit_length())  # u < v < w: unique
+                above ^= apex
+            upper ^= low
 
 
 def count_triangles(graph: Graph) -> int:
-    return sum(1 for _ in iter_triangles(graph))
+    """#triangles — one ``&`` + popcount per edge.
+
+    Summing |N(u) ∩ N(v)| over canonical edges counts every triangle
+    exactly three times (once per side), so no per-edge shift is needed
+    to deduplicate — the single most-executed loop in the repo stays at
+    two big-int ops per edge.
+    """
+    rows = graph.adjacency_rows()
+    total = 0
+    for u in range(graph.n):
+        row_u = rows[u]
+        upper = row_u >> (u + 1)
+        while upper:
+            low = upper & -upper
+            total += (row_u & rows[u + low.bit_length()]).bit_count()
+            upper ^= low
+    return total // 3
 
 
 def is_triangle_free(graph: Graph) -> bool:
@@ -84,12 +120,22 @@ def is_triangle_free(graph: Graph) -> bool:
 
 
 def triangle_edges(graph: Graph) -> set[Edge]:
-    """All edges that participate in at least one triangle (Definition 3)."""
+    """All edges that participate in at least one triangle (Definition 3).
+
+    An edge lies on a triangle iff its endpoints share a neighbour, so
+    one mask intersection per edge decides membership.
+    """
+    rows = graph.adjacency_rows()
     result: set[Edge] = set()
-    for a, b, c in iter_triangles(graph):
-        result.add((a, b))
-        result.add((a, c))
-        result.add((b, c))
+    for u in range(graph.n):
+        row_u = rows[u]
+        upper = row_u >> (u + 1)
+        while upper:
+            low = upper & -upper
+            v = u + low.bit_length()
+            if row_u & rows[v]:
+                result.add((u, v))
+            upper ^= low
     return result
 
 
@@ -103,18 +149,19 @@ def contains_triangle_among(edges: Iterable[Edge]) -> bool:
 
 def find_triangle_among(edges: Iterable[Edge]) -> Triangle | None:
     """Find a triangle inside a plain edge collection, or ``None``."""
-    adjacency: dict[int, set[int]] = {}
+    adjacency: dict[int, int] = {}
     for u, v in edges:
         u, v = canonical_edge(u, v)
-        adjacency.setdefault(u, set()).add(v)
-        adjacency.setdefault(v, set()).add(u)
-    for u, neighbours in adjacency.items():
-        for v in neighbours:
-            if v < u:
-                continue
-            common = neighbours & adjacency[v]
-            for w in common:
-                return _canonical_triangle(u, v, w)
+        adjacency[u] = adjacency.get(u, 0) | (1 << v)
+        adjacency[v] = adjacency.get(v, 0) | (1 << u)
+    for u, mask in adjacency.items():
+        for v in iter_bits(mask >> (u + 1)):
+            common = mask & adjacency[v + u + 1]
+            if common:
+                low = common & -common
+                return _canonical_triangle(
+                    u, v + u + 1, low.bit_length() - 1
+                )
     return None
 
 
@@ -148,14 +195,16 @@ def close_vee(graph: Graph, e1: Edge, e2: Edge) -> Edge | None:
 
 def iter_triangle_vees(graph: Graph, source: int) -> Iterator[tuple[Edge, Edge]]:
     """All triangle-vees whose source (shared vertex) is ``source``."""
-    neighbours = sorted(graph.neighbors(source))
-    for i, u in enumerate(neighbours):
-        for w in neighbours[i + 1:]:
-            if graph.has_edge(u, w):
-                yield (
-                    canonical_edge(source, u),
-                    canonical_edge(source, w),
-                )
+    nmask = graph.neighbor_mask(source)
+    for u in iter_bits(nmask):
+        closing = (graph.neighbor_mask(u) & nmask) >> (u + 1)
+        while closing:
+            low = closing & -closing
+            yield (
+                canonical_edge(source, u),
+                canonical_edge(source, u + low.bit_length()),
+            )
+            closing ^= low
 
 
 # ----------------------------------------------------------------------
@@ -167,15 +216,38 @@ def greedy_triangle_packing(graph: Graph) -> list[Triangle]:
     Maximality implies the packing is a 3-approximation of the maximum
     packing, and each packed triangle certifies one necessary edge removal,
     so ``len(packing)`` lower-bounds the distance to triangle-freeness.
+
+    Scans triangles ascending, tracking used edges as per-vertex bitmasks:
+    for a base edge {u, v} the viable apexes are
+    ``common_neighbors(u, v) & ~(used[u] | used[v])`` in one expression,
+    and at most one triangle per base edge can ever be packed.
     """
-    used_edges: set[Edge] = set()
+    rows = graph.adjacency_rows()
+    used = [0] * graph.n
     packing: list[Triangle] = []
-    for a, b, c in iter_triangles(graph):
-        edges = ((a, b), (a, c), (b, c))
-        if any(edge in used_edges for edge in edges):
-            continue
-        used_edges.update(edges)
-        packing.append((a, b, c))
+    for u in range(graph.n):
+        row_u = rows[u]
+        # Base edges still free at u: candidates can only shrink as the
+        # packing grows, so the used-mask is folded in once per vertex
+        # and again per hit.
+        upper = (row_u & ~used[u]) >> (u + 1)
+        while upper:
+            low = upper & -upper
+            upper ^= low  # consume the base edge before any refresh
+            v = u + low.bit_length()
+            common = row_u & rows[v]
+            if not common:
+                continue  # background edge: one & and out
+            blocked = used[u] | used[v]
+            viable = (common & ~blocked if blocked else common) >> (v + 1)
+            if viable:
+                apex = viable & -viable
+                w = v + apex.bit_length()
+                used[u] |= (1 << v) | (1 << w)
+                used[v] |= (1 << u) | (1 << w)
+                used[w] |= (1 << u) | (1 << v)
+                packing.append((u, v, w))
+                upper &= (~used[u]) >> (u + 1)
     return packing
 
 
@@ -189,11 +261,27 @@ def is_epsilon_far_certified(graph: Graph, epsilon: float) -> bool:
 
     Returns True only when the packing *proves* farness; a False does not
     prove closeness (the bound may simply be loose).
+
+    The comparison is exact: ``epsilon`` is reconstructed as the simplest
+    rational within one float ulp (so 0.1 means 1/10, not
+    0.1000000000000000055...), and the packing is compared against
+    ``epsilon * |E|`` by integer cross-multiplication.  A packing of
+    exactly ``epsilon * |E|`` triangles therefore certifies, where the
+    naive float product used to reject it by one ulp of drift.
     """
     if epsilon < 0:
         raise ValueError(f"epsilon must be non-negative, got {epsilon}")
-    required = epsilon * graph.num_edges
+    required = _exact_fraction(epsilon) * graph.num_edges
     return packing_distance_lower_bound(graph) >= required
+
+
+def _exact_fraction(value: float) -> Fraction:
+    """The simplest rational that rounds to ``value`` as a float."""
+    exact = Fraction(value)
+    simplest = exact.limit_denominator(10 ** 12)
+    # Only accept the simplification when it is lossless as a float —
+    # e.g. 0.1 -> 1/10 — so arbitrary epsilons keep their exact value.
+    return simplest if float(simplest) == value else exact
 
 
 def make_triangle_free_by_removal(graph: Graph) -> tuple[Graph, int]:
@@ -202,16 +290,30 @@ def make_triangle_free_by_removal(graph: Graph) -> tuple[Graph, int]:
     Greedy upper bound on the distance: repeatedly remove the edge that
     currently participates in the most triangles.  Used by tests to sandwich
     the true distance between the packing lower bound and this upper bound.
+
+    Per-edge triangle counts are maintained *incrementally*: removing
+    {u, v} only touches the counts of edges {u, w} / {v, w} for common
+    neighbours w, instead of re-enumerating every triangle per removal.
+    The busiest-edge choice (ties broken by canonical edge order) is
+    identical to the full recount, so outputs match the reference.
     """
     work = graph.copy()
+    counts: dict[Edge, int] = {}
+    for a, b, c in iter_triangles(work):
+        for edge in ((a, b), (a, c), (b, c)):
+            counts[edge] = counts.get(edge, 0) + 1
     removed = 0
-    while True:
-        counts: dict[Edge, int] = {}
-        for a, b, c in iter_triangles(work):
-            for edge in ((a, b), (a, c), (b, c)):
-                counts[edge] = counts.get(edge, 0) + 1
-        if not counts:
-            return work, removed
+    while counts:
         busiest = max(counts, key=lambda edge: (counts[edge], edge))
-        work.remove_edge(*busiest)
+        u, v = busiest
+        for w in iter_bits(work.common_neighbors(u, v)):
+            for edge in (canonical_edge(u, w), canonical_edge(v, w)):
+                remaining = counts[edge] - 1
+                if remaining:
+                    counts[edge] = remaining
+                else:
+                    del counts[edge]
+        del counts[busiest]
+        work.remove_edge(u, v)
         removed += 1
+    return work, removed

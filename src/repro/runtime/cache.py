@@ -33,7 +33,71 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Hashable
 
-__all__ = ["InstanceCache"]
+__all__ = ["InstanceCache", "canonical_key_bytes"]
+
+
+def canonical_key_bytes(key: Any) -> bytes:
+    """A canonical, process-independent encoding of a cache key.
+
+    ``repr`` is unstable across processes for keys containing dicts
+    (insertion order), sets (hash order), or objects with default reprs
+    (memory addresses) — silent disk-tier misses or collisions.  This
+    encoding is recursive and type-tagged: dicts sort by encoded key,
+    sets sort by encoded element, floats use shortest-roundtrip repr,
+    and anything un-encodable is rejected loudly so a bad key never
+    degrades into a wrong path.
+    """
+    parts: list[str] = []
+    _encode_key(key, parts)
+    return "".join(parts).encode()
+
+
+def _encode_key(value: Any, out: list[str]) -> None:
+    if value is None:
+        out.append("N;")
+    elif value is True:
+        out.append("B1;")
+    elif value is False:
+        out.append("B0;")
+    elif isinstance(value, int):
+        out.append(f"I{value};")
+    elif isinstance(value, float):
+        out.append(f"F{value!r};")
+    elif isinstance(value, str):
+        out.append(f"S{len(value)}:{value};")
+    elif isinstance(value, bytes):
+        out.append(f"Y{value.hex()};")
+    elif isinstance(value, (tuple, list)):
+        out.append("T(" if isinstance(value, tuple) else "L(")
+        for item in value:
+            _encode_key(item, out)
+        out.append(")")
+    elif isinstance(value, (set, frozenset)):
+        encoded = []
+        for item in value:
+            item_parts: list[str] = []
+            _encode_key(item, item_parts)
+            encoded.append("".join(item_parts))
+        out.append("E{" + "".join(sorted(encoded)) + "}")
+    elif isinstance(value, dict):
+        encoded_items = []
+        for k, v in value.items():
+            k_parts: list[str] = []
+            _encode_key(k, k_parts)
+            v_parts: list[str] = []
+            _encode_key(v, v_parts)
+            encoded_items.append(("".join(k_parts), "".join(v_parts)))
+        out.append(
+            "D{" + "".join(k + "=" + v for k, v in sorted(encoded_items))
+            + "}"
+        )
+    else:
+        raise TypeError(
+            f"cache key component {value!r} of type "
+            f"{type(value).__name__} has no canonical encoding; use "
+            "ints/floats/strings/bytes/bools/None and "
+            "tuples/lists/sets/dicts of them"
+        )
 
 
 class InstanceCache:
@@ -57,7 +121,7 @@ class InstanceCache:
     def _disk_path(self, key: Hashable) -> Path | None:
         if self.disk_dir is None:
             return None
-        digest = hashlib.blake2b(repr(key).encode(), digest_size=16)
+        digest = hashlib.blake2b(canonical_key_bytes(key), digest_size=16)
         return self.disk_dir / f"{digest.hexdigest()}.pkl"
 
     def get_or_build(self, key: Hashable,

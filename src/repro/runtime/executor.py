@@ -7,14 +7,25 @@ Parallelism changes wall-clock only, never records — each trial's
 randomness is fully determined by its spec's derived seed, so there is
 no shared RNG state to race on.
 
-``ParallelExecutor`` distributes work over a ``fork``-context
-``ProcessPoolExecutor``.  Protocol and instance callables are typically
-closures (every Table 1 row builds them inline), which do not pickle;
-instead of pickling them per call, the active task is parked in a module
-global immediately before the pool forks, so workers inherit it through
-copy-on-write and only the small ``TrialSpec`` / ``TrialResult``
-dataclasses ever cross the pipe.  Platforms without ``fork`` fall back
-to the serial path transparently.
+``ParallelExecutor`` distributes work over a ``ProcessPoolExecutor``
+and supports every start method:
+
+* **fork** (the fast path where available): protocol and instance
+  callables are typically closures (every Table 1 row builds them
+  inline), which do not pickle; instead of pickling them per call, the
+  active task is parked in a module global immediately before the pool
+  forks, so workers inherit it through copy-on-write and only the small
+  ``TrialSpec`` / ``TrialResult`` dataclasses ever cross the pipe.
+* **spawn / forkserver** (Windows, macOS, and Python 3.14's default):
+  the task is pickled *once* and shipped to each worker through the
+  pool initializer, which parks it in the same module global — the
+  per-trial traffic is identical to the fork path.  Tasks that do not
+  pickle (closure-built) fall back to serial execution transparently;
+  module-level callables (and the picklable callables in
+  :mod:`repro.analysis.experiments`) parallelise everywhere.
+
+Either way the records are byte-identical to serial execution: each
+trial's randomness is fully determined by its spec's derived seed.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ import inspect
 import math
 import multiprocessing
 import os
+import pickle
 import tempfile
 from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
 from typing import Callable, Iterable, Iterator, Sequence
@@ -155,8 +167,9 @@ class SerialExecutor(Executor):
         return [task(spec) for spec in specs]
 
 
-# The task a ParallelExecutor is currently running, parked here right
-# before the pool forks so workers inherit it via copy-on-write.
+# The task a ParallelExecutor is currently running.  Fork workers
+# inherit it via copy-on-write; spawn workers receive it pickled through
+# the pool initializer below.
 _ACTIVE_TASK: Callable[[TrialSpec], TrialResult] | None = None
 
 
@@ -166,21 +179,32 @@ def _run_active_task(spec: TrialSpec) -> TrialResult:
     return _ACTIVE_TASK(spec)
 
 
+def _install_pickled_task(payload: bytes) -> None:
+    """Spawn-worker initializer: unpickle the task into the shared slot."""
+    global _ACTIVE_TASK
+    _ACTIVE_TASK = pickle.loads(payload)
+
+
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
 class ParallelExecutor(Executor):
-    """Fan trials out over a fork-based process pool, in chunks.
+    """Fan trials out over a process pool, in chunks.
 
-    ``workers=None`` means all cores.  Falls back to serial execution
-    when there is nothing to parallelise (one worker, one spec), when
-    ``fork`` is unavailable, or when re-entered from within another
-    parallel run (the fork-shared task slot is single-occupancy).
+    ``workers=None`` means all cores.  ``start_method=None`` picks
+    ``fork`` where the platform offers it and ``spawn`` otherwise
+    (Windows, macOS defaults, Python 3.14+); passing ``"fork"`` /
+    ``"spawn"`` / ``"forkserver"`` pins it.  Falls back to serial
+    execution when there is nothing to parallelise (one worker, one
+    spec), when re-entered from within another parallel run (the shared
+    task slot is single-occupancy), or when a spawn-method pool is asked
+    to run a task that does not pickle.
     """
 
     def __init__(self, workers: int | None = None,
-                 chunk_size: int | None = None) -> None:
+                 chunk_size: int | None = None,
+                 start_method: str | None = None) -> None:
         self.workers = (
             resolve_workers(workers) if workers is not None
             else (os.cpu_count() or 1)
@@ -188,6 +212,14 @@ class ParallelExecutor(Executor):
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.chunk_size = chunk_size
+        if start_method is not None:
+            available = multiprocessing.get_all_start_methods()
+            if start_method not in available:
+                raise ValueError(
+                    f"start method {start_method!r} not available here "
+                    f"(choose from {available})"
+                )
+        self.start_method = start_method
 
     def _chunk(self, total: int) -> int:
         if self.chunk_size is not None:
@@ -196,19 +228,37 @@ class ParallelExecutor(Executor):
         # skew of heterogeneous grid points (big-n trials dwarf small-n).
         return max(1, math.ceil(total / (self.workers * 4)))
 
+    def _resolve_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        return "fork" if _fork_available() else "spawn"
+
     def run_trials(self, task: Callable[[TrialSpec], TrialResult],
                    specs: Iterable[TrialSpec]) -> list[TrialResult]:
         global _ACTIVE_TASK
         spec_list = list(specs)
         workers = min(self.workers, len(spec_list))
-        if (workers <= 1 or not _fork_available()
-                or _ACTIVE_TASK is not None):
+        if workers <= 1 or _ACTIVE_TASK is not None:
             return SerialExecutor().run_trials(task, spec_list)
+        method = self._resolve_start_method()
+        pool_kwargs: dict = {}
+        if method != "fork":
+            # Spawned workers import this module fresh: ship the task
+            # once, pickled, through the initializer.  Closure-built
+            # tasks cannot travel that way — run them serially.
+            try:
+                payload = pickle.dumps(task)
+            except Exception:
+                return SerialExecutor().run_trials(task, spec_list)
+            pool_kwargs = {
+                "initializer": _install_pickled_task,
+                "initargs": (payload,),
+            }
         _ACTIVE_TASK = task
         try:
-            context = multiprocessing.get_context("fork")
+            context = multiprocessing.get_context(method)
             with _PoolExecutor(max_workers=workers,
-                               mp_context=context) as pool:
+                               mp_context=context, **pool_kwargs) as pool:
                 return list(
                     pool.map(_run_active_task, spec_list,
                              chunksize=self._chunk(len(spec_list)))

@@ -8,6 +8,10 @@ already stored (or the arrival closes a stored vee), a triangle edge has
 been found.  Space is Θ(reservoir · log n) bits; detection probability
 grows with the reservoir, which is exactly the space/success trade-off the
 Ω(n^{1/4}) lower bound constrains on µ-distributed inputs.
+
+Both finders index their stored edges as per-vertex bitmasks (the same
+kernel representation as :class:`~repro.graphs.graph.Graph`), so the
+per-arrival closure check is a single ``&`` of two ints.
 """
 
 from __future__ import annotations
@@ -46,7 +50,7 @@ class ReservoirTriangleFinder(StreamingAlgorithm):
         self._reservoir: list[Edge] = []
         self._seen = 0
         self._found: tuple[int, int, int] | None = None
-        self._adjacency: dict[int, set[int]] = {}
+        self._adjacency: dict[int, int] = {}
 
     def process(self, edge: Edge) -> None:
         edge = canonical_edge(*edge)
@@ -68,11 +72,11 @@ class ReservoirTriangleFinder(StreamingAlgorithm):
     def _check_closure(self, edge: Edge) -> None:
         """Does ``edge`` close a vee whose two arms are in the reservoir?"""
         u, v = edge
-        common = self._adjacency.get(u, set()) & self._adjacency.get(v, set())
-        for w in common:
-            a, b, c = sorted((u, v, w))
+        common = self._adjacency.get(u, 0) & self._adjacency.get(v, 0)
+        if common:
+            low = common & -common
+            a, b, c = sorted((u, v, low.bit_length() - 1))
             self._found = (a, b, c)
-            return
 
     def _insert(self, edge: Edge) -> None:
         self._reservoir.append(edge)
@@ -80,13 +84,13 @@ class ReservoirTriangleFinder(StreamingAlgorithm):
 
     def _index(self, edge: Edge) -> None:
         u, v = edge
-        self._adjacency.setdefault(u, set()).add(v)
-        self._adjacency.setdefault(v, set()).add(u)
+        self._adjacency[u] = self._adjacency.get(u, 0) | (1 << v)
+        self._adjacency[v] = self._adjacency.get(v, 0) | (1 << u)
 
     def _evict(self, edge: Edge) -> None:
         u, v = edge
-        self._adjacency.get(u, set()).discard(v)
-        self._adjacency.get(v, set()).discard(u)
+        self._adjacency[u] = self._adjacency.get(u, 0) & ~(1 << v)
+        self._adjacency[v] = self._adjacency.get(v, 0) & ~(1 << u)
 
     def state_bits(self) -> int:
         stored = len(self._reservoir) * edge_bits(self.n)
@@ -123,23 +127,21 @@ class CountingExactFinder(StreamingAlgorithm):
     def __init__(self, n: int) -> None:
         self.n = n
         self._edges: set[Edge] = set()
-        self._adjacency: dict[int, set[int]] = {}
+        self._adjacency: dict[int, int] = {}
         self._found: tuple[int, int, int] | None = None
 
     def process(self, edge: Edge) -> None:
         edge = canonical_edge(*edge)
         u, v = edge
         if self._found is None:
-            common = (
-                self._adjacency.get(u, set()) & self._adjacency.get(v, set())
-            )
-            for w in common:
-                a, b, c = sorted((u, v, w))
+            common = self._adjacency.get(u, 0) & self._adjacency.get(v, 0)
+            if common:
+                low = common & -common
+                a, b, c = sorted((u, v, low.bit_length() - 1))
                 self._found = (a, b, c)
-                break
         self._edges.add(edge)
-        self._adjacency.setdefault(u, set()).add(v)
-        self._adjacency.setdefault(v, set()).add(u)
+        self._adjacency[u] = self._adjacency.get(u, 0) | (1 << v)
+        self._adjacency[v] = self._adjacency.get(v, 0) | (1 << u)
 
     def state_bits(self) -> int:
         return max(1, len(self._edges) * edge_bits(self.n))
@@ -157,5 +159,5 @@ class CountingExactFinder(StreamingAlgorithm):
         for edge in state["edges"]:
             self._edges.add(edge)
             u, v = edge
-            self._adjacency.setdefault(u, set()).add(v)
-            self._adjacency.setdefault(v, set()).add(u)
+            self._adjacency[u] = self._adjacency.get(u, 0) | (1 << v)
+            self._adjacency[v] = self._adjacency.get(v, 0) | (1 << u)

@@ -1,0 +1,20 @@
+"""Module-level trial callables for the spawn-executor tests.
+
+Spawn-method process pools receive the active task pickled through the
+pool initializer; pickling a function serialises only its module-qualname
+reference, so these callables must live at module level in an importable
+module (closures defined inside a test body would not survive the trip).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import default_instance
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+
+spawn_instance = default_instance(epsilon=0.3, k=3)
+
+
+def spawn_protocol(partition, seed):
+    return find_triangle_sim_low(
+        partition, SimLowParams(epsilon=0.3, delta=0.2), seed=seed
+    )

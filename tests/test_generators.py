@@ -1,6 +1,7 @@
 """Unit tests for workload generators (repro.graphs.generators)."""
 
 import math
+import warnings
 
 import pytest
 
@@ -108,6 +109,24 @@ class TestFarInstance:
             far_instance(100, 4.0, 0.0)
         with pytest.raises(ValueError):
             far_instance(100, 4.0, 1.5)
+
+    def test_epsilon_shortfall_warns(self):
+        """The n//3 vertex-disjointness cap can pull the certified
+        epsilon far below the request; that must not be silent."""
+        with pytest.warns(RuntimeWarning, match="certifies only"):
+            instance = far_instance(90, 12.0, 0.5, seed=3)
+        assert instance.epsilon_certified < 0.45
+
+    def test_epsilon_shortfall_raises_under_strict(self):
+        with pytest.raises(ValueError, match="certifies only"):
+            far_instance(90, 12.0, 0.5, seed=3, strict=True)
+
+    def test_no_warning_when_request_met(self):
+        # eps*d/2 <= 1/3, so the n//3 triangle cap does not bind.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            instance = far_instance(600, 3.0, 0.2, seed=5)
+        assert instance.epsilon_certified >= 0.18
 
 
 class TestSkewedHubs:

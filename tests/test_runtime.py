@@ -10,11 +10,14 @@ The three guarantees the runtime makes:
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
 import subprocess
 import sys
 
 import pytest
+
+import spawn_helpers
 
 from repro.analysis.experiments import default_instance, run_sweep
 from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
@@ -170,6 +173,53 @@ class TestExecutorIdentity:
         assert by_knob.records == serial.records
 
 
+class TestSpawnExecutor:
+    """The executor contract must hold without fork (Windows, macOS
+    defaults, Python 3.14's default change): records byte-identical to
+    serial, with the task shipped pickled through the pool initializer."""
+
+    def test_spawn_records_byte_identical_to_serial(self):
+        specs = build_specs(GRID, trials=2, sweep_seed=21)
+        serial = run_trials(
+            spawn_helpers.spawn_protocol, spawn_helpers.spawn_instance,
+            specs, executor=SerialExecutor(),
+        )
+        spawned = run_trials(
+            spawn_helpers.spawn_protocol, spawn_helpers.spawn_instance,
+            specs,
+            executor=ParallelExecutor(workers=2, start_method="spawn"),
+        )
+        assert pickle.dumps(spawned) == pickle.dumps(serial)
+
+    def test_spawn_falls_back_to_serial_on_unpicklable_task(self):
+        epsilon = 0.3  # captured: the closures below never pickle
+
+        def closure_instance(n, d, seed):
+            return default_instance(epsilon=epsilon, k=3)(n, d, seed)
+
+        specs = build_specs(GRID, trials=2, sweep_seed=22)
+        via_spawn = run_trials(
+            lambda p, s: sim_low_protocol(p, s), closure_instance, specs,
+            executor=ParallelExecutor(workers=2, start_method="spawn"),
+        )
+        serial = run_trials(
+            sim_low_protocol, closure_instance, specs,
+            executor=SerialExecutor(),
+        )
+        assert via_spawn == serial
+
+    def test_unavailable_start_method_rejected(self):
+        available = multiprocessing.get_all_start_methods()
+        assert "spawn" in available  # spawn exists on every platform
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=2, start_method="threads")
+
+    def test_default_instance_builder_pickles(self):
+        builder = default_instance(epsilon=0.25, k=4)
+        clone = pickle.loads(pickle.dumps(builder))
+        assert clone(100, 4.0, 7).k == 4
+
+
 class TestWorkerResolution:
     def test_default_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
@@ -254,6 +304,61 @@ class TestInstanceCache:
     def test_validates_max_entries(self):
         with pytest.raises(ValueError):
             InstanceCache(max_entries=0)
+
+
+class TestCanonicalDiskKeys:
+    """Disk-tier paths must be identical across processes: ``repr`` of a
+    dict/set-bearing key is insertion/hash-order dependent and objects
+    with default reprs embed memory addresses."""
+
+    DICT_KEY = ("instance", {"b": 2.5, "a": 1}, frozenset({3, 1, 2}), None)
+
+    def test_dict_order_does_not_change_path(self, tmp_path):
+        cache = InstanceCache(disk_dir=tmp_path)
+        forward = cache._disk_path(("k", {"a": 1, "b": 2}))
+        backward = cache._disk_path(("k", {"b": 2, "a": 1}))
+        assert forward == backward
+
+    def test_two_processes_derive_identical_paths(self, tmp_path):
+        """A child interpreter (fresh hash seed) must agree on the path."""
+        import os
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        script = (
+            "from repro.runtime.cache import InstanceCache; "
+            f"c = InstanceCache(disk_dir={str(tmp_path)!r}); "
+            f"print(c._disk_path({self.DICT_KEY!r}).name)"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src
+        env["PYTHONHASHSEED"] = "54321"  # scrambles set/dict hash order
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        parent = InstanceCache(disk_dir=tmp_path)
+        assert out.stdout.strip() == parent._disk_path(self.DICT_KEY).name
+
+    def test_unencodable_key_rejected_loudly(self, tmp_path):
+        class Opaque:
+            pass
+
+        cache = InstanceCache(disk_dir=tmp_path)
+        with pytest.raises(TypeError, match="canonical encoding"):
+            cache.get_or_build(("k", Opaque()), lambda: 1)
+
+    def test_memory_tier_unaffected_by_encoding(self):
+        """No disk dir => keys only need hashability, as before."""
+        cache = InstanceCache()
+        token = object()
+
+        class Hashable:
+            pass
+
+        assert cache.get_or_build(("k", Hashable()), lambda: token) is token
 
 
 class TestTrialTask:

@@ -164,6 +164,37 @@ class TestFarness:
         with pytest.raises(ValueError):
             is_epsilon_far_certified(Graph(3), -0.1)
 
+    def test_exact_boundary_not_rejected_by_float_drift(self):
+        """epsilon = 3/187 with |E| = 187 requires exactly 3 packed
+        triangles, but the float product is 3.0000000000000004 — the
+        old float comparison rejected an exactly-sufficient packing."""
+        epsilon = 3 / 187
+        graph = Graph(365)
+        for t in range(3):  # 3 vertex-disjoint triangles
+            a = 3 * t
+            graph.add_edges([(a, a + 1), (a, a + 2), (a + 1, a + 2)])
+        for i in range(178):  # pad with a triangle-free matching
+            graph.add_edge(9 + 2 * i, 10 + 2 * i)
+        assert graph.num_edges == 187
+        assert packing_distance_lower_bound(graph) == 3
+        assert epsilon * graph.num_edges > 3  # the drift guarded against
+        assert is_epsilon_far_certified(graph, epsilon)
+        assert not is_epsilon_far_certified(graph, 2 * epsilon)
+
+    def test_boundary_exact_across_scales(self):
+        # One planted triangle per 10 edges certifies exactly eps=0.1.
+        for triangles in (3, 6, 9):
+            graph = Graph(30 * triangles)
+            for t in range(triangles):
+                a = 3 * t
+                graph.add_edges([(a, a + 1), (a, a + 2), (a + 1, a + 2)])
+            left = 3 * triangles
+            padding = 7 * triangles
+            for i in range(padding):
+                graph.add_edge(left + i, left + padding + i)
+            assert graph.num_edges == 10 * triangles
+            assert is_epsilon_far_certified(graph, 0.1)
+
     def test_removal_reaches_freeness(self):
         edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
         graph = Graph(5, edges)  # K5
