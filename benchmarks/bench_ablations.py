@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 
 from repro.analysis.experiments import run_sweep
-from repro.analysis.table1 import _tuned_unrestricted_params
+from repro.analysis.table1 import tuned_unrestricted_params
 from repro.comm.encoding import edge_bits
 from repro.core.simultaneous_high import SimHighParams, find_triangle_sim_high
 from repro.core.unrestricted import find_triangle_unrestricted
@@ -45,7 +45,7 @@ def test_x3_blackboard_saves(benchmark, print_row):
     from dataclasses import replace
 
     n, d, k = 2048, 8.0, 8
-    params = _tuned_unrestricted_params(k, d)
+    params = tuned_unrestricted_params(k, d)
     grid = [(n, d, k)]
 
     def instance(n_: int, d_: float, seed: int):

@@ -15,7 +15,7 @@ import statistics
 from dataclasses import replace
 
 from repro.analysis.scaling import fit_power_law
-from repro.analysis.table1 import _tuned_unrestricted_params
+from repro.analysis.table1 import tuned_unrestricted_params
 from repro.core.unrestricted import find_triangle_unrestricted
 from repro.graphs.buckets import bucket_index, min_full_bucket
 from repro.graphs.generators import disjoint_cliques
@@ -56,7 +56,7 @@ def test_found_path_scales_with_sqrt_bmin(benchmark, print_row):
                 )
             partition = partition_disjoint(graph, k, seed=2)
             params = replace(
-                _tuned_unrestricted_params(k, graph.average_degree()),
+                tuned_unrestricted_params(k, graph.average_degree()),
                 epsilon=epsilon,
                 samples_per_bucket=4 * k,
             )

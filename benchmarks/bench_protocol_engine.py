@@ -1,0 +1,194 @@
+"""Mask-native protocol engine vs the set-based reference players.
+
+PR 2 made the *graph* layer word-wide; this driver measures the protocol
+*execution* layer that PR 3 rebuilt on the same kernel: whole-protocol
+trials of the simultaneous testers (sim-low, sim-high, oblivious) on the
+canonical epsilon-far disjoint partition, run once with the mask-native
+:class:`~repro.comm.players.Player` (cached partition adjacency rows,
+mask harvests, O(1) ledger) and once with the preserved
+:class:`~repro.comm.reference.SetPlayer` (per-trial frozenset shredding,
+per-edge Python set harvests).  Both execute the identical protocol code
+through the ``player_factory`` seam, and every ``DetectionResult`` —
+triangle, witness edges, cost summary, details — is asserted equal
+before a speedup is reported.
+
+The engine PR's acceptance bar: >= 3x on every protocol at n in
+2000-4000, byte-identical outputs.  Results are also written to
+``BENCH_protocol_engine.json`` next to this file (or ``--json PATH``) so
+the perf trajectory has machine-readable data points.
+
+Usage::
+
+    python benchmarks/bench_protocol_engine.py            # full grid
+    python benchmarks/bench_protocol_engine.py --quick    # CI smoke grid
+
+Also collected by ``pytest benchmarks/`` as a correctness+speedup test
+on the quick grid.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.table1 import far_disjoint_instance
+from repro.comm.players import make_players
+from repro.comm.reference import make_set_players
+from repro.core.oblivious import ObliviousParams, find_triangle_sim_oblivious
+from repro.core.simultaneous_high import SimHighParams, find_triangle_sim_high
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+
+#: (n, d) on the canonical far instance (epsilon=0.2, k=3, seed 7).
+FULL_GRID = [(2000, 8.0), (3000, 8.0), (4000, 8.0)]
+QUICK_GRID = [(2000, 8.0)]
+
+SPEEDUP_FLOOR = 3.0
+TRIAL_SEED = 1
+K = 3
+
+PROTOCOLS = [
+    (
+        "sim-low",
+        lambda part, factory: find_triangle_sim_low(
+            part, SimLowParams(epsilon=0.2, delta=0.2), seed=TRIAL_SEED,
+            player_factory=factory,
+        ),
+    ),
+    (
+        "sim-high",
+        lambda part, factory: find_triangle_sim_high(
+            part, SimHighParams(epsilon=0.2, delta=0.2, c=2.0),
+            seed=TRIAL_SEED, player_factory=factory,
+        ),
+    ),
+    (
+        "oblivious",
+        lambda part, factory: find_triangle_sim_oblivious(
+            part, ObliviousParams(epsilon=0.2, delta=0.2), seed=TRIAL_SEED,
+            player_factory=factory,
+        ),
+    ),
+]
+
+
+def best_of(repeats: int, fn) -> tuple[float, object]:
+    """(best wall-time, result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_grid(grid, repeats: int = 5) -> list[dict]:
+    build = far_disjoint_instance(epsilon=0.2, k=K)
+    rows = []
+    for n, d in grid:
+        partition = build(n, d, 7)
+        for name, protocol in PROTOCOLS:
+            mask_s, mask_out = best_of(
+                repeats, lambda: protocol(partition, make_players)
+            )
+            set_s, set_out = best_of(
+                repeats, lambda: protocol(partition, make_set_players)
+            )
+            # Mismatches are recorded, not raised: the JSON must reflect
+            # the failing run (it is written before the gate fires).
+            rows.append({
+                "n": n, "d": d, "protocol": name,
+                "mask_s": mask_s, "set_s": set_s,
+                "speedup": set_s / max(mask_s, 1e-12),
+                "identical": mask_out == set_out,
+                "found": mask_out.found,
+                "total_bits": mask_out.cost.total_bits,
+            })
+    return rows
+
+
+def print_table(rows) -> None:
+    header = (
+        f"{'n':>6} {'d':>5} {'protocol':<12} {'set':>9} {'mask':>9} {'x':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['n']:>6} {row['d']:>5.1f} {row['protocol']:<12} "
+            f"{row['set_s'] * 1e3:>7.1f}ms {row['mask_s'] * 1e3:>7.1f}ms "
+            f"{row['speedup']:>6.1f}x"
+        )
+
+
+def check_floor(rows) -> list[str]:
+    """The acceptance bar: identical outputs, every trial >= the floor."""
+    failures = [
+        f"{row['protocol']} at n={row['n']}: DetectionResult mismatch "
+        "between mask and reference players"
+        for row in rows if not row["identical"]
+    ]
+    failures.extend(
+        f"{row['protocol']} at n={row['n']}: "
+        f"{row['speedup']:.1f}x < {SPEEDUP_FLOOR}x"
+        for row in rows
+        if row["n"] >= 2000 and row["speedup"] < SPEEDUP_FLOOR
+    )
+    return failures
+
+
+def write_json(rows, path: Path) -> None:
+    path.write_text(json.dumps({
+        "bench": "protocol_engine",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "rows": rows,
+    }, indent=2) + "\n")
+
+
+def test_protocol_engine_speedup_and_identical_results(benchmark, print_row):
+    """pytest entry: quick grid, results identical, floor respected."""
+    rows = benchmark.pedantic(
+        lambda: run_grid(QUICK_GRID, repeats=3), rounds=1, iterations=1
+    )
+    for row in rows:
+        print_row(
+            f"engine {row['protocol']} n={row['n']}: {row['speedup']:.1f}x"
+        )
+    benchmark.extra_info["speedups"] = {
+        f"{r['protocol']}@{r['n']}": round(r["speedup"], 2) for r in rows
+    }
+    assert not check_floor(rows)
+
+
+def main(argv: list[str]) -> int:
+    grid = QUICK_GRID if "--quick" in argv else FULL_GRID
+    json_path = Path(__file__).with_name("BENCH_protocol_engine.json")
+    if "--json" in argv:
+        operand = argv.index("--json") + 1
+        if operand >= len(argv):
+            print("usage: bench_protocol_engine.py [--quick] [--json PATH]")
+            return 2
+        json_path = Path(argv[operand])
+    rows = run_grid(grid)
+    print_table(rows)
+    write_json(rows, json_path)
+    print(f"wrote {json_path}")
+    failures = check_floor(rows)
+    if failures:
+        print("SPEEDUP FLOOR MISSED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(
+        f"ok: all protocols >= {SPEEDUP_FLOOR}x, DetectionResults identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

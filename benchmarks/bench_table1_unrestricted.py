@@ -19,7 +19,7 @@ from dataclasses import replace
 from repro.analysis.experiments import run_sweep
 from repro.analysis.scaling import fit_axis
 from repro.analysis.table1 import (
-    _tuned_unrestricted_params,
+    tuned_unrestricted_params,
     row_unrestricted_upper,
 )
 from repro.core.unrestricted import find_triangle_unrestricted
@@ -59,7 +59,7 @@ def test_k_squared_term(benchmark, print_row):
     def protocol(partition, seed: int):
         k = partition.k
         params = replace(
-            _tuned_unrestricted_params(k, d),
+            tuned_unrestricted_params(k, d),
             samples_per_bucket=2 * k,
             max_candidates=2 * k,
         )
@@ -113,7 +113,7 @@ def test_early_exit_on_far_instance(benchmark, print_row):
     difference is the instance construction.
     """
     n, d, k = 4096, 8.0, 3
-    params = _tuned_unrestricted_params(k, d)
+    params = tuned_unrestricted_params(k, d)
 
     def far(n_: int, d_: float, seed: int):
         built = far_instance(n_, d_, 0.2, seed=seed)

@@ -19,7 +19,7 @@ from dataclasses import replace
 
 from repro.analysis.experiments import run_sweep
 from repro.analysis.table1 import (
-    _tuned_unrestricted_params,
+    tuned_unrestricted_params,
     far_disjoint_instance,
 )
 from repro.core.exact_baseline import exact_triangle_detection
@@ -46,7 +46,7 @@ def smoke_points() -> list[tuple[str, object, object, tuple[int, float, int]]]:
         (
             "bench_table1_unrestricted",
             lambda p, s: find_triangle_unrestricted(
-                p, _tuned_unrestricted_params(k, 8.0), seed=s
+                p, tuned_unrestricted_params(k, 8.0), seed=s
             ),
             _trifree_instance,
             (512, 8.0, k),
@@ -85,7 +85,7 @@ def smoke_points() -> list[tuple[str, object, object, tuple[int, float, int]]]:
             "bench_ablations/blackboard",
             lambda p, s: find_triangle_unrestricted(
                 p,
-                replace(_tuned_unrestricted_params(k, 8.0), blackboard=True),
+                replace(tuned_unrestricted_params(k, 8.0), blackboard=True),
                 seed=s,
             ),
             _trifree_instance,

@@ -75,6 +75,7 @@ from repro.streaming.triangle_stream import ReservoirTriangleFinder
 
 __all__ = [
     "RowReport",
+    "tuned_unrestricted_params",
     "row_unrestricted_upper",
     "row_sim_low_upper",
     "row_sim_high_upper",
@@ -131,8 +132,13 @@ def far_disjoint_instance(epsilon: float, k: int):
     return build
 
 
-def _tuned_unrestricted_params(k: int, d: float) -> UnrestrictedParams:
-    """Scaled-down constants, identical functional forms (see DESIGN.md)."""
+def tuned_unrestricted_params(k: int, d: float) -> UnrestrictedParams:
+    """Scaled-down constants, identical functional forms (see DESIGN.md).
+
+    The reproduction-scale tuning every unrestricted-protocol driver and
+    the bench smoke harness share; public so external drivers need not
+    reach into a private helper.
+    """
     return UnrestrictedParams(
         epsilon=0.2,
         delta=0.2,
@@ -176,7 +182,7 @@ def row_unrestricted_upper(quick: bool = True, seed: int = 0, *,
 
     def protocol(partition: EdgePartition, run_seed: int):
         return find_triangle_unrestricted(
-            partition, _tuned_unrestricted_params(k, d), seed=run_seed
+            partition, tuned_unrestricted_params(k, d), seed=run_seed
         )
 
     sweep = run_sweep(
@@ -455,7 +461,7 @@ def _sketch_protocol(max_edges: int) -> Callable[[EdgePartition, int],
         n = partition.graph.n
         return run_simultaneous(
             players,
-            message_fn=lambda p, _: sorted(p.edges)[:max_edges],
+            message_fn=lambda p, _: p.sorted_edges()[:max_edges],
             message_bits=lambda edges: max(1, len(edges) * edge_bits(n)),
             referee_fn=lambda messages, _: None,
         )

@@ -1,9 +1,21 @@
 """Communication accounting for multiparty protocols.
 
-The :class:`CommunicationLedger` records every message exchanged between the
-players and the coordinator (or referee): direction, bit cost, and an
-optional label describing which sub-procedure sent it.  Protocol complexity
-claims are then checked against :meth:`CommunicationLedger.total_bits`.
+The :class:`CommunicationLedger` accounts for every message exchanged
+between the players and the coordinator (or referee): direction, bit cost,
+and an optional label describing which sub-procedure sent it.  Protocol
+complexity claims are then checked against
+:meth:`CommunicationLedger.total_bits`.
+
+Accounting is *aggregate-first*: the ledger maintains running counters
+(total / upstream / downstream bits, per-label and per-player totals,
+message and round counts), so every ``charge_*`` call is O(1), a broadcast
+is one arithmetic update regardless of audience size, and the reporting
+properties read a counter instead of re-summing a record list.  Retaining
+the full per-message transcript is an opt-in mode
+(``CommunicationLedger(record_messages=True)``) for tests and transcript
+consumers such as
+:func:`~repro.comm.messagepassing.message_passing_cost_of_coordinator_run`;
+the default protocol hot path allocates nothing per message.
 
 The ledger also counts *rounds* in the coordinator model's sense: a round is
 one coordinator->player message followed by the player's response.  For
@@ -20,6 +32,8 @@ __all__ = ["MessageRecord", "CostSummary", "CommunicationLedger"]
 
 COORDINATOR = -1
 """Pseudo player id for the coordinator / referee."""
+
+_UNLABELLED = "(unlabelled)"
 
 
 @dataclass(frozen=True)
@@ -57,36 +71,86 @@ class CostSummary:
 
 
 class CommunicationLedger:
-    """Mutable record of all communication in one protocol execution."""
+    """Mutable account of all communication in one protocol execution.
 
-    def __init__(self) -> None:
-        self._records: list[MessageRecord] = []
+    Parameters
+    ----------
+    record_messages:
+        When True, every charge additionally appends a
+        :class:`MessageRecord` to :attr:`records`.  Off by default — the
+        aggregate counters answer every reporting query in O(1), and the
+        per-message transcript only matters to tests and to transcript
+        replays.
+    """
+
+    def __init__(self, record_messages: bool = False) -> None:
+        self._records: list[MessageRecord] | None = (
+            [] if record_messages else None
+        )
         self._rounds = 0
         self._label_stack: list[str] = []
+        self._total_bits = 0
+        self._upstream_bits = 0
+        self._downstream_bits = 0
+        self._messages = 0
+        self._bits_by_label: Counter[str] = Counter()
+        self._bits_by_player: Counter[int] = Counter()
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
+    def _charge(self, sender: int, receiver: int, bits: int,
+                label: str) -> None:
+        """The shared counter-update protocol behind both directions."""
+        if bits < 0:
+            raise ValueError(f"message cost must be non-negative, got {bits}")
+        label = label or self._current_label()
+        self._total_bits += bits
+        self._messages += 1
+        self._bits_by_label[label or _UNLABELLED] += bits
+        if receiver == COORDINATOR:
+            self._upstream_bits += bits
+            if sender != COORDINATOR:
+                self._bits_by_player[sender] += bits
+        else:
+            self._downstream_bits += bits
+        if self._records is not None:
+            self._records.append(MessageRecord(sender, receiver, bits, label))
+
     def charge_upstream(self, player: int, bits: int, label: str = "") -> None:
         """Record a player -> coordinator message of ``bits`` bits."""
-        self._records.append(
-            MessageRecord(player, COORDINATOR, bits, label or self._current_label())
-        )
+        self._charge(player, COORDINATOR, bits, label)
 
     def charge_downstream(self, player: int, bits: int, label: str = "") -> None:
         """Record a coordinator -> player message of ``bits`` bits."""
-        self._records.append(
-            MessageRecord(COORDINATOR, player, bits, label or self._current_label())
-        )
+        self._charge(COORDINATOR, player, bits, label)
 
     def charge_broadcast(self, num_players: int, bits: int, label: str = "") -> None:
         """Record the coordinator sending the same ``bits``-bit message to all.
 
         In the coordinator model a broadcast costs ``num_players * bits``
-        (separate private channels); this helper charges exactly that.
+        (separate private channels); this helper charges exactly that, as
+        a single O(1) counter update.
         """
-        for j in range(num_players):
-            self.charge_downstream(j, bits, label)
+        if bits < 0:
+            raise ValueError(f"message cost must be non-negative, got {bits}")
+        if num_players < 0:
+            raise ValueError(
+                f"audience size must be non-negative, got {num_players}"
+            )
+        if num_players == 0:
+            return
+        label = label or self._current_label()
+        total = num_players * bits
+        self._total_bits += total
+        self._downstream_bits += total
+        self._messages += num_players
+        self._bits_by_label[label or _UNLABELLED] += total
+        if self._records is not None:
+            self._records.extend(
+                MessageRecord(COORDINATOR, j, bits, label)
+                for j in range(num_players)
+            )
 
     def begin_round(self) -> None:
         """Mark the start of one coordinator-model communication round."""
@@ -115,19 +179,24 @@ class CommunicationLedger:
         return self._label_stack[-1] if self._label_stack else ""
 
     # ------------------------------------------------------------------
-    # Reporting
+    # Reporting — every property is a counter read, O(1)
     # ------------------------------------------------------------------
     @property
+    def record_messages(self) -> bool:
+        """Whether the per-message transcript is being retained."""
+        return self._records is not None
+
+    @property
     def total_bits(self) -> int:
-        return sum(record.bits for record in self._records)
+        return self._total_bits
 
     @property
     def upstream_bits(self) -> int:
-        return sum(r.bits for r in self._records if r.receiver == COORDINATOR)
+        return self._upstream_bits
 
     @property
     def downstream_bits(self) -> int:
-        return sum(r.bits for r in self._records if r.sender == COORDINATOR)
+        return self._downstream_bits
 
     @property
     def rounds(self) -> int:
@@ -135,28 +204,24 @@ class CommunicationLedger:
 
     @property
     def records(self) -> tuple[MessageRecord, ...]:
+        if self._records is None:
+            raise RuntimeError(
+                "per-message records were not retained; construct the "
+                "ledger with CommunicationLedger(record_messages=True)"
+            )
         return tuple(self._records)
 
     def player_bits(self, player: int) -> int:
         """Bits sent *by* ``player`` (upstream only)."""
-        return sum(
-            r.bits for r in self._records
-            if r.sender == player and r.receiver == COORDINATOR
-        )
+        return self._bits_by_player.get(player, 0)
 
     def summary(self) -> CostSummary:
-        by_label: Counter[str] = Counter()
-        by_player: Counter[int] = Counter()
-        for record in self._records:
-            by_label[record.label or "(unlabelled)"] += record.bits
-            if record.sender != COORDINATOR:
-                by_player[record.sender] += record.bits
         return CostSummary(
-            total_bits=self.total_bits,
-            upstream_bits=self.upstream_bits,
-            downstream_bits=self.downstream_bits,
+            total_bits=self._total_bits,
+            upstream_bits=self._upstream_bits,
+            downstream_bits=self._downstream_bits,
             rounds=self._rounds,
-            messages=len(self._records),
-            bits_by_label=dict(by_label),
-            bits_by_player=dict(by_player),
+            messages=self._messages,
+            bits_by_label=dict(self._bits_by_label),
+            bits_by_player=dict(self._bits_by_player),
         )

@@ -112,7 +112,7 @@ def simulate_with_coordinator(runtime: MessagePassingRuntime
     Returns the coordinator-model ledger of the simulation; its total is
     exactly :func:`coordinator_cost_of_transcript`.
     """
-    ledger = CommunicationLedger()
+    ledger = CommunicationLedger(record_messages=True)
     routing_bits = bits_for_universe(runtime.k)
     for record in runtime.transcript:
         ledger.begin_round()
@@ -133,6 +133,10 @@ def message_passing_cost_of_coordinator_run(ledger: CommunicationLedger,
     same size (messages already involving the appointed player become
     local and free).  This is the zero-overhead direction of the
     equivalence.
+
+    Requires a transcript: run the coordinator protocol with a
+    ``CommunicationLedger(record_messages=True)`` — the aggregate-only
+    default retains no per-message records to replay.
     """
     from repro.comm.ledger import COORDINATOR
 

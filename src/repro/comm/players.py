@@ -15,14 +15,28 @@ The methods mirror the local steps of Sections 3.1, 3.3 and 3.4:
 * the closing-edge check that finishes the unrestricted protocol
   ("each player examines its own input ... for an edge that closes a
   triangle together with some vee").
+
+The backend is the same bitset kernel as :class:`~repro.graphs.graph.Graph`
+(PR 2): one adjacency-mask int per vertex, so ``has_edge`` is a
+shift-and-test, ``local_degree`` a popcount, and the harvest methods —
+the protocol hot path — are mask intersections executed word-at-a-time in
+C instead of per-edge Python set work.  The mask-form harvests
+(``edges_within_mask`` and friends) return edges in ascending canonical
+order, which is exactly the ``sorted(...)`` order the protocols previously
+imposed, so messages (and cap truncations) are byte-identical to the
+set-based implementation preserved in :mod:`repro.comm.reference`.
+
+Players built via :func:`make_players` reuse the per-player adjacency rows
+cached on the :class:`~repro.graphs.partition.EdgePartition`, so repeated
+trials on the same partition never re-shred the edge views.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
-from repro.graphs.buckets import degrees_from_view, player_suspected_bucket
-from repro.graphs.graph import Edge, canonical_edge
+from repro.graphs.buckets import player_suspected_bucket
+from repro.graphs.graph import Edge, canonical_edge, iter_bits, mask_of
 
 __all__ = ["Player", "make_players"]
 
@@ -37,49 +51,109 @@ class Player:
     n:
         Number of vertices of the (publicly known) vertex universe.
     edges:
-        The player's private edge view ``E_j``.
+        The player's private edge view ``E_j``.  Ignored when ``rows`` is
+        given.
+    rows:
+        Optional prebuilt per-vertex adjacency masks (e.g. the cached
+        :meth:`~repro.graphs.partition.EdgePartition.adjacency_rows`).
+        Treated as read-only and may be shared between Player instances.
+    num_edges:
+        Optional distinct-edge count matching ``rows``; computed lazily
+        from the rows when omitted.  :func:`make_players` passes the view
+        size so per-trial player construction does no popcount pass.
     """
 
-    def __init__(self, player_id: int, n: int, edges: Iterable[Edge]) -> None:
+    __slots__ = (
+        "player_id", "n", "_rows", "_num_edges", "_edges_cache",
+        "_degrees_cache",
+    )
+
+    def __init__(self, player_id: int, n: int, edges: Iterable[Edge] = (),
+                 *, rows: list[int] | None = None,
+                 num_edges: int | None = None) -> None:
         self.player_id = player_id
         self.n = n
-        self._edges: frozenset[Edge] = frozenset(
-            canonical_edge(u, v) for u, v in edges
-        )
-        self._adjacency: dict[int, set[int]] = {}
-        for u, v in self._edges:
-            self._adjacency.setdefault(u, set()).add(v)
-            self._adjacency.setdefault(v, set()).add(u)
-        self._degrees = degrees_from_view(self._edges)
+        if rows is None:
+            rows = [0] * n
+            for u, v in edges:
+                if u == v:
+                    raise ValueError(f"self-loop ({u}, {v}) is not a valid edge")
+                if not (0 <= u < n and 0 <= v < n):
+                    raise ValueError(
+                        f"edge ({u}, {v}) outside the vertex universe [0, {n})"
+                    )
+                rows[u] |= 1 << v
+                rows[v] |= 1 << u
+        self._rows = rows
+        self._num_edges = num_edges
+        self._edges_cache: frozenset[Edge] | None = None
+        self._degrees_cache: dict[int, int] | None = None
 
     # ------------------------------------------------------------------
     # Introspection (local, free)
     # ------------------------------------------------------------------
     @property
     def edges(self) -> frozenset[Edge]:
-        return self._edges
+        if self._edges_cache is None:
+            self._edges_cache = frozenset(self._iter_edges())
+        return self._edges_cache
 
     @property
     def num_edges(self) -> int:
-        return len(self._edges)
+        if self._num_edges is None:
+            self._num_edges = sum(
+                row.bit_count() for row in self._rows
+            ) // 2
+        return self._num_edges
+
+    def _iter_edges(self):
+        for u, row in enumerate(self._rows):
+            upper = row >> (u + 1)
+            while upper:
+                low = upper & -upper
+                yield (u, u + low.bit_length())
+                upper ^= low
+
+    def sorted_edges(self) -> list[Edge]:
+        """All local edges in ascending canonical order."""
+        return list(self._iter_edges())
+
+    def _row(self, v: int) -> int:
+        """Row of ``v``, empty for out-of-universe vertices.
+
+        Matches the reference SetPlayer, whose dict adjacency answers
+        unknown-vertex queries with "no neighbours" — in particular a
+        negative id must not wrap around to vertex ``n + v``.
+        """
+        if 0 <= v < self.n:
+            return self._rows[v]
+        return 0
+
+    def adjacency_rows(self) -> list[int]:
+        """The per-vertex adjacency masks — treat as READ-ONLY."""
+        return self._rows
 
     def has_edge(self, u: int, v: int) -> bool:
-        if u == v:
+        if u == v or v < 0:
             return False
-        return canonical_edge(u, v) in self._edges
+        return bool(self._row(u) >> v & 1)
 
     def local_degree(self, v: int) -> int:
         """d_j(v): degree of v in this player's view."""
-        return self._degrees.get(v, 0)
+        return self._row(v).bit_count()
 
     def local_neighbors(self, v: int) -> frozenset[int]:
-        return frozenset(self._adjacency.get(v, ()))
+        return frozenset(iter_bits(self._row(v)))
+
+    def local_neighbor_mask(self, v: int) -> int:
+        """N_j(v) as a bitmask — the raw kernel word."""
+        return self._row(v)
 
     def average_local_degree(self) -> float:
         """d-bar_j = 2|E_j| / n, the §3.4.3 per-player density estimate."""
         if self.n == 0:
             return 0.0
-        return 2.0 * len(self._edges) / self.n
+        return 2.0 * self.num_edges / self.n
 
     def degree_msb_index(self, v: int) -> int | None:
         """Index of the most significant bit of d_j(v); None if d_j(v)=0.
@@ -87,14 +161,19 @@ class Player:
         Phase one of Theorem 3.1: each player reports only the MSB index,
         costing O(log log d) bits.
         """
-        degree = self.local_degree(v)
+        degree = self._row(v).bit_count()
         if degree == 0:
             return None
         return degree.bit_length() - 1
 
     def suspected_bucket(self, index: int, k: int) -> set[int]:
         """B~_i^j: vertices with 3^i / k <= d_j(v) <= 3^(i+1)."""
-        return player_suspected_bucket(self._degrees, index, k)
+        if self._degrees_cache is None:
+            self._degrees_cache = {
+                v: row.bit_count()
+                for v, row in enumerate(self._rows) if row
+            }
+        return player_suspected_bucket(self._degrees_cache, index, k)
 
     # ------------------------------------------------------------------
     # Permutation-ranked minima (Algorithm 1 and the §3.1 primitives)
@@ -125,7 +204,7 @@ class Player:
         coordinator then takes the global minimum over players' minima.
         """
         best_neighbor = self.first_vertex_under_rank(
-            self._adjacency.get(v, ()), rank
+            iter_bits(self._row(v)), rank
         )
         if best_neighbor is None:
             return None
@@ -136,7 +215,7 @@ class Player:
         """Lowest-ranked edge of E_j under a public order on edges."""
         best: Edge | None = None
         best_rank: tuple | None = None
-        for edge in self._edges:
+        for edge in self._iter_edges():
             r = rank(edge)
             if best_rank is None or r < best_rank:
                 best, best_rank = edge, r
@@ -144,34 +223,91 @@ class Player:
 
     # ------------------------------------------------------------------
     # Edge harvesting against public vertex samples
+    #
+    # The mask forms are the hot path: one row intersection per sampled
+    # vertex, emitted in ascending canonical order (== the ``sorted``
+    # order protocol messages are priced and capped in).  The set forms
+    # keep the original API for callers that still hold Python sets.
     # ------------------------------------------------------------------
+    def edges_at_vertex_in_mask(self, v: int, sample_mask: int) -> list[Edge]:
+        """E_j ∩ ({v} × S) as a sorted list, S given as a mask."""
+        hits = self._row(v) & sample_mask
+        return [
+            (v, u) if v < u else (u, v) for u in iter_bits(hits)
+        ]
+
     def edges_at_vertex_in_sample(self, v: int, sample: set[int]
                                   ) -> set[Edge]:
         """E_j ∩ ({v} × S): Algorithm 4's per-vertex edge sample."""
-        return {
-            canonical_edge(v, u)
-            for u in self._adjacency.get(v, ())
-            if u in sample
-        }
+        return set(self.edges_at_vertex_in_mask(v, mask_of(sample)))
+
+    def edges_within_mask(self, sample_mask: int) -> list[Edge]:
+        """E_j ∩ S² as a sorted list: Algorithms 7 and 9's harvest."""
+        rows = self._rows
+        found: list[Edge] = []
+        remaining = sample_mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            u = low.bit_length() - 1
+            partners = (rows[u] & sample_mask) >> (u + 1)
+            while partners:
+                plow = partners & -partners
+                found.append((u, u + plow.bit_length()))
+                partners ^= plow
+        return found
 
     def edges_within(self, sample: set[int]) -> set[Edge]:
         """E_j ∩ S²: the induced-subgraph harvest of Algorithms 7 and 9."""
-        found: set[Edge] = set()
-        for u, v in self._edges:
-            if u in sample and v in sample:
-                found.add((u, v))
+        return set(self.edges_within_mask(mask_of(sample)))
+
+    def edges_touching_both_mask(self, r_mask: int, rs_mask: int
+                                 ) -> list[Edge]:
+        """Edges with one endpoint in R, the other in R ∪ S, sorted.
+
+        A qualifying edge (a ∈ R and b ∈ RS, or b ∈ R and a ∈ RS — the
+        two arguments need not be nested) always has its R-endpoint, so
+        enumerating base vertices over R alone suffices: one
+        ``row & rs_mask`` per R-vertex, which is the whole point — R is
+        the small birthday sample while R ∪ S may be nearly everything.
+        A pair with both endpoints in R ∩ RS is found from each side;
+        the lower endpoint owns it.
+        """
+        rows = self._rows
+        found: list[Edge] = []
+        both = r_mask & rs_mask
+        remaining = r_mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            u = low.bit_length() - 1
+            partners = rows[u] & rs_mask
+            if not partners:
+                continue
+            if both >> u & 1:
+                # u could double-report pairs owned by a lower R∩RS
+                # partner; mask those out.
+                partners &= ~(both & ((1 << u) - 1))
+            while partners:
+                plow = partners & -partners
+                v = plow.bit_length() - 1
+                found.append((u, v) if u < v else (v, u))
+                partners ^= plow
+        found.sort()
         return found
 
     def edges_touching_both(self, r_sample: set[int], rs_sample: set[int]
                             ) -> set[Edge]:
         """Edges with one endpoint in R and the other in R ∪ S (Alg 8/10)."""
-        found: set[Edge] = set()
-        for u, v in self._edges:
-            if (u in r_sample and v in rs_sample) or (
-                v in r_sample and u in rs_sample
-            ):
-                found.add((u, v))
-        return found
+        return set(
+            self.edges_touching_both_mask(
+                mask_of(r_sample), mask_of(rs_sample)
+            )
+        )
+
+    def sample_hits_vertex_mask(self, v: int, sample_mask: int) -> bool:
+        """Mask form of :meth:`sample_hits_vertex`: one ``&`` and a test."""
+        return bool(self._row(v) & sample_mask)
 
     def sample_hits_vertex(self, v: int, sample: set[int]) -> bool:
         """Is S ∩ (edges of E_j at v) non-empty?  One Theorem 3.1 experiment.
@@ -179,12 +315,12 @@ class Player:
         ``sample`` is a public set of *potential neighbours* of v; the
         player answers with a single bit.
         """
-        neighbours = self._adjacency.get(v)
-        if not neighbours:
+        row = self._row(v)
+        if not row:
             return False
-        if len(sample) < len(neighbours):
-            return any(u in neighbours for u in sample)
-        return any(u in sample for u in neighbours)
+        if len(sample) < row.bit_count():
+            return any(row >> u & 1 for u in sample)
+        return any(u in sample for u in iter_bits(row))
 
     def any_incident_neighbor_in(self, v: int,
                                  pred: Callable[[int], bool]) -> bool:
@@ -193,7 +329,7 @@ class Player:
         The lazy-predicate form of :meth:`sample_hits_vertex`: one
         Theorem 3.1 experiment, evaluated in O(d_j(v)) local time.
         """
-        return any(pred(u) for u in self._adjacency.get(v, ()))
+        return any(pred(u) for u in iter_bits(self._row(v)))
 
     def any_edge_index_in(self, edge_index: Callable[[Edge], int],
                           pred: Callable[[int], bool]) -> bool:
@@ -204,7 +340,7 @@ class Player:
         subset of vertex pairs, including estimating the total number of
         edges in the graph").
         """
-        return any(pred(edge_index(edge)) for edge in self._edges)
+        return any(pred(edge_index(edge)) for edge in self._iter_edges())
 
     # ------------------------------------------------------------------
     # Triangle closing
@@ -253,13 +389,22 @@ class Player:
     def __repr__(self) -> str:
         return (
             f"Player(id={self.player_id}, n={self.n}, "
-            f"|E_j|={len(self._edges)})"
+            f"|E_j|={self.num_edges})"
         )
 
 
 def make_players(partition) -> list[Player]:
-    """Build the k Player objects of an :class:`EdgePartition`."""
+    """Build the k Player objects of an :class:`EdgePartition`.
+
+    Adjacency rows come from the partition's per-player cache, so building
+    players for repeated trials on the same partition is O(k) after the
+    first call instead of re-shredding every edge view.
+    """
     n = partition.graph.n
     return [
-        Player(j, n, view) for j, view in enumerate(partition.views)
+        Player(
+            j, n, rows=partition.adjacency_rows(j),
+            num_edges=partition.view_edge_count(j),
+        )
+        for j in range(partition.k)
     ]

@@ -15,14 +15,50 @@ runs reproducible end to end.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 __all__ = ["SharedRandomness"]
 
 # A large prime used to build per-call independent sub-streams from
 # (seed, tag) pairs without materializing n! permutations.
 _MIX_PRIME = 0x9E3779B97F4A7C15
+
+
+def _mask_from_indices(indices: Iterable[int], universe_size: int) -> int:
+    """Assemble a bitmask in a bytearray: O(universe) total, no
+    O(universe²/word) repeated big-int shifts for dense index streams."""
+    buffer = bytearray((universe_size >> 3) + 1)
+    for index in indices:
+        buffer[index >> 3] |= 1 << (index & 7)
+    return int.from_bytes(buffer, "little")
+
+
+def _geometric_indices(local: random.Random, universe_size: int,
+                       probability: float) -> Iterator[int]:
+    """Geometric skipping over ``range(universe_size)``: expected O(p·n).
+
+    ``probability`` must lie strictly in (0, 1); the caller handles the
+    endpoints in closed form.
+    """
+    index = -1
+    log_q = math.log1p(-probability)
+    if log_q == 0.0:
+        # probability is denormal-small: log1p underflows to -0.0; a gap
+        # division by it would raise — and no gap that large fits any
+        # finite universe, so nothing is selected.
+        return
+    while True:
+        raw_gap = math.log(max(local.random(), 1e-300)) / log_q
+        if raw_gap >= universe_size:
+            # Covers float overflow to inf at tiny probabilities, where
+            # an un-guarded int() would raise.
+            return
+        index += int(raw_gap) + 1
+        if index >= universe_size:
+            return
+        yield index
 
 
 class SharedRandomness:
@@ -99,6 +135,21 @@ class SharedRandomness:
 
         return rank
 
+    def _bernoulli_local(self, probability: float, tag: int) -> random.Random:
+        """Main-stream draws (one draw + nonce) behind both subset forms.
+
+        Called eagerly by either representation, so the set and mask
+        forms are draw-for-draw interchangeable: later public sampling
+        decisions are unaffected by which one a protocol used.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self._draws += 1
+        return random.Random(
+            (self._seed * _MIX_PRIME + (tag << 21) + self._next_nonce())
+            & (2**63 - 1)
+        )
+
     def bernoulli_subset(self, universe_size: int, probability: float,
                          tag: int = 0) -> set[int]:
         """Include each of ``range(universe_size)`` independently w.p. ``p``.
@@ -107,28 +158,31 @@ class SharedRandomness:
         used throughout Section 3.  All parties calling this with the same
         tag and draw order obtain the same set.
         """
-        if not 0.0 <= probability <= 1.0:
-            raise ValueError(f"probability must be in [0, 1], got {probability}")
-        self._draws += 1
-        local = random.Random(
-            (self._seed * _MIX_PRIME + (tag << 21) + self._next_nonce())
-            & (2**63 - 1)
-        )
+        local = self._bernoulli_local(probability, tag)
         if probability == 0.0:
             return set()
         if probability == 1.0:
             return set(range(universe_size))
-        # Geometric skipping: expected work O(p * universe_size).
-        selected: set[int] = set()
-        index = -1
-        import math
-        log_q = math.log1p(-probability)
-        while True:
-            gap = int(math.log(max(local.random(), 1e-300)) / log_q) + 1
-            index += gap
-            if index >= universe_size:
-                return selected
-            selected.add(index)
+        return set(_geometric_indices(local, universe_size, probability))
+
+    def bernoulli_subset_mask(self, universe_size: int, probability: float,
+                              tag: int = 0) -> int:
+        """:meth:`bernoulli_subset` as a bitmask, identical draw order.
+
+        The mask form the mask-native players harvest against.  The mask
+        is assembled in a bytearray (O(universe) total) rather than by
+        repeated ``|= 1 << i`` shifts (O(universe²/word) for dense
+        samples), and the all/none endpoints are closed forms.
+        """
+        local = self._bernoulli_local(probability, tag)
+        if probability == 0.0:
+            return 0
+        if probability == 1.0:
+            return (1 << universe_size) - 1
+        return _mask_from_indices(
+            _geometric_indices(local, universe_size, probability),
+            universe_size,
+        )
 
     def bernoulli_predicate(self, probability: float, tag: int = 0):
         """A public iid-Bernoulli(p) membership predicate over the integers.
@@ -170,6 +224,19 @@ class SharedRandomness:
             & (2**63 - 1)
         )
         return local.sample(range(universe_size), count)
+
+    def sample_without_replacement_mask(self, universe_size: int, count: int,
+                                        tag: int = 0) -> int:
+        """:meth:`sample_without_replacement` as a bitmask, same draws.
+
+        Membership is all the mask-native harvests need, so the sampled
+        order is folded away; the underlying draw sequence is identical
+        to the list form.
+        """
+        return _mask_from_indices(
+            self.sample_without_replacement(universe_size, count, tag),
+            universe_size,
+        )
 
     def shuffled(self, items: Iterable[int], tag: int = 0) -> list[int]:
         """A uniformly random ordering of ``items`` (public)."""

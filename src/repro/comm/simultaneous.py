@@ -53,18 +53,21 @@ def run_simultaneous(
     referee_fn: Callable[[list[MessageT], SharedRandomness], OutputT],
     shared: SharedRandomness | None = None,
     label: str = "simultaneous",
+    record_messages: bool = False,
 ) -> SimultaneousRun[MessageT, OutputT]:
     """Execute one simultaneous protocol.
 
     ``message_fn(player, shared)`` computes a player's single message from
     its private input and the public coins; ``message_bits`` prices it;
     ``referee_fn(messages, shared)`` produces the output.  The ledger
-    records one round and one upstream message per player.
+    charges one round and one upstream message per player;
+    ``record_messages=True`` additionally retains the per-message
+    :class:`~repro.comm.ledger.MessageRecord` transcript.
     """
     if not players:
         raise ValueError("a protocol needs at least one player")
     shared = shared if shared is not None else SharedRandomness()
-    ledger = CommunicationLedger()
+    ledger = CommunicationLedger(record_messages=record_messages)
     ledger.begin_round()
     messages: list[MessageT] = []
     for player in players:

@@ -27,7 +27,7 @@ from typing import Iterable
 
 from repro.comm.coordinator import CoordinatorRuntime
 from repro.comm.encoding import edge_bits, indicator_bits, vertex_bits
-from repro.graphs.graph import Edge, canonical_edge
+from repro.graphs.graph import Edge, canonical_edge, iter_bits, mask_of
 
 __all__ = [
     "query_edge",
@@ -141,10 +141,10 @@ def collect_induced_subgraph(rt: CoordinatorRuntime,
     query model's |V'|² probes).  ``cap_per_player`` truncates oversized
     responses, as the capped protocol variants require.
     """
-    vertex_set = set(vertices)
+    vertex_mask = mask_of(vertices)
     with rt.scope("collect_induced_subgraph"):
         harvests = rt.collect(
-            compute=lambda p: _capped(sorted(p.edges_within(vertex_set)),
+            compute=lambda p: _capped(p.edges_within_mask(vertex_mask),
                                       cap_per_player),
             response_bits=lambda edges: max(
                 1, len(edges) * edge_bits(rt.n)
@@ -160,7 +160,7 @@ def collect_neighbors(rt: CoordinatorRuntime, v: int) -> set[int]:
     """All neighbours of v in the union graph.  Cost O(k·deg(v)·log n)."""
     with rt.scope("collect_neighbors"):
         harvests = rt.collect(
-            compute=lambda p: sorted(p.local_neighbors(v)),
+            compute=lambda p: list(iter_bits(p.local_neighbor_mask(v))),
             response_bits=lambda vs: max(1, len(vs) * vertex_bits(rt.n)),
         )
     union: set[int] = set()

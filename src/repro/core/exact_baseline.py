@@ -43,7 +43,7 @@ def exact_triangle_detection(partition: EdgePartition) -> DetectionResult:
 
     run = run_simultaneous(
         players,
-        message_fn=lambda player, _: sorted(player.edges),
+        message_fn=lambda player, _: player.sorted_edges(),
         message_bits=lambda edges: max(1, len(edges) * edge_bits(n)),
         referee_fn=referee_fn,
         label="exact-baseline",
@@ -79,7 +79,7 @@ def exact_triangle_detection_blackboard(partition: EdgePartition
     n = partition.graph.n
     rt = BlackboardRuntime(players)
     posted = rt.post_edges_in_turns(
-        harvest=lambda player: sorted(player.edges),
+        harvest=lambda player: player.sorted_edges(),
         per_edge_bits=edge_bits(n),
         label="exact-blackboard",
     )

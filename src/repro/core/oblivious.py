@@ -95,22 +95,28 @@ def find_triangle_sim_oblivious(
     partition: EdgePartition,
     params: ObliviousParams | None = None,
     seed: int = 0,
+    *,
+    player_factory=make_players,
 ) -> DetectionResult:
-    """Run Algorithm 11: simultaneous triangle detection, d unknown."""
+    """Run Algorithm 11: simultaneous triangle detection, d unknown.
+
+    ``player_factory`` swaps the player backend (mask-native by default;
+    :func:`repro.comm.reference.make_set_players` for differential runs).
+    """
     params = params or ObliviousParams()
-    players = make_players(partition)
+    players = player_factory(partition)
     n = partition.graph.n
     k = len(players)
     shared = SharedRandomness(seed)
     sqrt_n = math.sqrt(n)
 
-    # Public per-guess samples, agreed through the shared coins.  R (the
-    # birthday set) is shared across all low-degree instances, as the
-    # paper notes the players may do.
+    # Public per-guess sample masks, agreed through the shared coins.  R
+    # (the birthday set) is shared across all low-degree instances, as
+    # the paper notes the players may do.
     top_guess = math.ceil(math.log2(max(2, n)))
-    high_samples: dict[int, set[int]] = {}
-    low_samples: dict[int, set[int]] = {}
-    birthday = shared.bernoulli_subset(
+    high_samples: dict[int, int] = {}
+    low_samples: dict[int, int] = {}
+    birthday = shared.bernoulli_subset_mask(
         n, min(1.0, params.c / max(1.0, sqrt_n)), tag=10_000
     )
     for i in range(top_guess + 1):
@@ -122,13 +128,15 @@ def find_triangle_sim_oblivious(
                     params.c * (n * n / (params.epsilon * guess)) ** (1 / 3)
                 ))),
             )
-            high_samples[i] = shared.bernoulli_subset(
+            high_samples[i] = shared.bernoulli_subset_mask(
                 n, min(1.0, size / max(1, n)), tag=20_000 + i
             )
         else:
-            low_samples[i] = shared.bernoulli_subset(
+            low_samples[i] = shared.bernoulli_subset_mask(
                 n, min(1.0, params.c / guess), tag=30_000 + i
             )
+    # R ∪ S per low instance, computed once instead of per player.
+    low_unions = {i: birthday | mask for i, mask in low_samples.items()}
 
     def message_fn(player: Player, _: SharedRandomness) -> InstanceMessage:
         local_average = player.average_local_degree()
@@ -136,15 +144,14 @@ def find_triangle_sim_oblivious(
         for i in params.guess_range_for_player(local_average, k, n):
             guess = float(2 ** i)
             if guess >= sqrt_n:
-                harvest = sorted(player.edges_within(high_samples[i]))
+                harvest = player.edges_within_mask(high_samples[i])
                 cap = (
                     params.cap_high(n, local_average, k)
                     if params.capped else None
                 )
             else:
-                sample = low_samples[i]
-                harvest = sorted(
-                    player.edges_touching_both(birthday, birthday | sample)
+                harvest = player.edges_touching_both_mask(
+                    birthday, low_unions[i]
                 )
                 cap = params.cap_low(n, k) if params.capped else None
             if cap is not None:
@@ -162,6 +169,9 @@ def find_triangle_sim_oblivious(
         return total
 
     def referee_fn(messages: list[InstanceMessage], _: SharedRandomness):
+        # Per-instance union sets retained for iteration-order
+        # compatibility with recorded baselines; find_triangle_among is
+        # the mask kernel.
         instances: dict[int, set[Edge]] = {}
         for message in messages:
             for i, edges in message.items():
@@ -197,6 +207,6 @@ def find_triangle_sim_oblivious(
         details={
             "winning_guess_index": winning_guess,
             "num_guesses": top_guess + 1,
-            "birthday_sample_size": len(birthday),
+            "birthday_sample_size": birthday.bit_count(),
         },
     )

@@ -82,10 +82,16 @@ def find_triangle_sim_high(
     partition: EdgePartition,
     params: SimHighParams | None = None,
     seed: int = 0,
+    *,
+    player_factory=make_players,
 ) -> DetectionResult:
-    """Run the high-degree simultaneous tester on a partitioned input."""
+    """Run the high-degree simultaneous tester on a partitioned input.
+
+    ``player_factory`` swaps the player backend (mask-native by default;
+    :func:`repro.comm.reference.make_set_players` for differential runs).
+    """
     params = params or SimHighParams()
-    players = make_players(partition)
+    players = player_factory(partition)
     n = partition.graph.n
     d = (
         params.known_average_degree
@@ -95,18 +101,23 @@ def find_triangle_sim_high(
     shared = SharedRandomness(seed)
     size = params.sample_size(n, d)
     if params.bernoulli_sampling:
-        sample = shared.bernoulli_subset(n, min(1.0, size / max(1, n)), tag=1)
+        sample = shared.bernoulli_subset_mask(
+            n, min(1.0, size / max(1, n)), tag=1
+        )
     else:
-        sample = set(shared.sample_without_replacement(n, size, tag=1))
+        sample = shared.sample_without_replacement_mask(n, size, tag=1)
     cap = params.edge_cap(n, d, size) if params.capped else None
 
     def message_fn(player: Player, _: SharedRandomness) -> list[Edge]:
-        harvest = sorted(player.edges_within(sample))
+        # Induced-subgraph harvest as mask intersections, ascending.
+        harvest = player.edges_within_mask(sample)
         if cap is not None:
             harvest = harvest[:cap]
         return harvest
 
     def referee_fn(messages: list[list[Edge]], _: SharedRandomness):
+        # Union set retained for iteration-order compatibility with the
+        # recorded baselines; find_triangle_among is the mask kernel.
         union: set[Edge] = set()
         for message in messages:
             union.update(message)

@@ -89,10 +89,16 @@ def find_triangle_sim_low(
     partition: EdgePartition,
     params: SimLowParams | None = None,
     seed: int = 0,
+    *,
+    player_factory=make_players,
 ) -> DetectionResult:
-    """Run the low-degree simultaneous tester on a partitioned input."""
+    """Run the low-degree simultaneous tester on a partitioned input.
+
+    ``player_factory`` swaps the player backend (mask-native by default;
+    :func:`repro.comm.reference.make_set_players` for differential runs).
+    """
     params = params or SimLowParams()
-    players = make_players(partition)
+    players = player_factory(partition)
     n = partition.graph.n
     d = (
         params.known_average_degree
@@ -100,20 +106,26 @@ def find_triangle_sim_low(
         else partition.graph.average_degree()
     )
     shared = SharedRandomness(seed)
-    dense_catcher = shared.bernoulli_subset(
+    dense_catcher = shared.bernoulli_subset_mask(
         n, params.p_dense_catcher(d), tag=1
     )
-    birthday = shared.bernoulli_subset(n, params.p_birthday(n), tag=2)
+    birthday = shared.bernoulli_subset_mask(n, params.p_birthday(n), tag=2)
     both = birthday | dense_catcher
     cap = params.edge_cap(n, d) if params.capped else None
 
     def message_fn(player: Player, _: SharedRandomness) -> list[Edge]:
-        harvest = sorted(player.edges_touching_both(birthday, both))
+        # Mask harvest: one row intersection per sampled vertex, emitted
+        # ascending — the same order the set-based code sorted into.
+        harvest = player.edges_touching_both_mask(birthday, both)
         if cap is not None:
             harvest = harvest[:cap]
         return harvest
 
     def referee_fn(messages: list[list[Edge]], _: SharedRandomness):
+        # The union *set* is retained deliberately: find_triangle_among
+        # (the PR 2 mask kernel) picks the first triangle in iteration
+        # order, and the set's order is what the recorded baseline
+        # DetectionResults were produced under.
         union: set[Edge] = set()
         for message in messages:
             union.update(message)
@@ -144,7 +156,7 @@ def find_triangle_sim_low(
         details={
             "p_dense_catcher": params.p_dense_catcher(d),
             "p_birthday": params.p_birthday(n),
-            "sample_sizes": (len(dense_catcher), len(birthday)),
+            "sample_sizes": (dense_catcher.bit_count(), birthday.bit_count()),
             "edge_cap": cap,
             "average_degree_used": d,
         },

@@ -160,10 +160,16 @@ def find_subgraph_simultaneous(
     pattern: SubgraphPattern,
     params: SubgraphParams | None = None,
     seed: int = 0,
+    *,
+    player_factory=make_players,
 ) -> SubgraphDetectionResult:
-    """One-shot simultaneous H-detection with one-sided error."""
+    """One-shot simultaneous H-detection with one-sided error.
+
+    ``player_factory`` swaps the player backend (mask-native by default;
+    :func:`repro.comm.reference.make_set_players` for differential runs).
+    """
     params = params or SubgraphParams()
-    players = make_players(partition)
+    players = player_factory(partition)
     n = partition.graph.n
     d = (
         params.known_average_degree
@@ -173,13 +179,13 @@ def find_subgraph_simultaneous(
     shared = SharedRandomness(seed)
     p = params.sample_probability(n, d, pattern)
     samples = [
-        shared.bernoulli_subset(n, p, tag=100 + r)
+        shared.bernoulli_subset_mask(n, p, tag=100 + r)
         for r in range(params.rounds)
     ]
 
     def message_fn(player: Player, _: SharedRandomness
                    ) -> list[list[Edge]]:
-        return [sorted(player.edges_within(sample)) for sample in samples]
+        return [player.edges_within_mask(sample) for sample in samples]
 
     def message_bits(message: list[list[Edge]]) -> int:
         return max(

@@ -56,7 +56,7 @@ from repro.graphs.buckets import (
     degree_thresholds,
     log2n,
 )
-from repro.graphs.graph import Edge, canonical_edge
+from repro.graphs.graph import Edge, canonical_edge, iter_bits, mask_of
 from repro.graphs.partition import EdgePartition
 
 __all__ = ["UnrestrictedParams", "find_triangle_unrestricted"]
@@ -147,6 +147,8 @@ def find_triangle_unrestricted(
     partition: EdgePartition,
     params: UnrestrictedParams | None = None,
     seed: int = 0,
+    *,
+    player_factory=make_players,
 ) -> DetectionResult:
     """Run FindTriangle (Algorithm 6) on a partitioned input.
 
@@ -154,9 +156,12 @@ def find_triangle_unrestricted(
     epsilon-far input the paper guarantees detection with probability
     ``1 - delta`` (under the paper's literal sample sizes).
     Expected communication O~(k (nd)^{1/4} + k²).
+
+    ``player_factory`` swaps the player backend (mask-native by default;
+    :func:`repro.comm.reference.make_set_players` for differential runs).
     """
     params = params or UnrestrictedParams()
-    players = make_players(partition)
+    players = player_factory(partition)
     shared = SharedRandomness(seed)
     rt = CoordinatorRuntime(players, shared=shared)
     n = rt.n
@@ -321,6 +326,7 @@ def _sample_edges_and_close(rt: CoordinatorRuntime,
                 sampled_neighbors.add(far)
         if len(sampled_neighbors) < 2:
             return None
+        star_mask = mask_of(sampled_neighbors)
         # Coordinator posts the star to all players (k copies in the
         # coordinator model; once on the blackboard under Theorem 3.23).
         post_bits = max(1, len(sampled_neighbors) * vertex_bits(n))
@@ -331,9 +337,7 @@ def _sample_edges_and_close(rt: CoordinatorRuntime,
 
     with rt.scope("closing-round"):
         closings = rt.collect(
-            compute=lambda player: _first_edge_within(
-                player, sampled_neighbors
-            ),
+            compute=lambda player: _first_edge_within(player, star_mask),
             response_bits=lambda e: (
                 edge_bits(n) if e is not None else indicator_bits()
             ),
@@ -350,16 +354,19 @@ def _capped_star(player: Player, v: int, pred, cap: int) -> list[Edge]:
     """E_j ∩ ({v} × S) truncated to the cap, S given by the predicate."""
     hits = [
         canonical_edge(v, u)
-        for u in sorted(player.local_neighbors(v))
+        for u in iter_bits(player.local_neighbor_mask(v))
         if pred(u)
     ]
     return hits[:cap]
 
 
-def _first_edge_within(player: Player, candidates: set[int]) -> Edge | None:
-    """The player's first local edge with both endpoints in ``candidates``."""
-    inside = player.edges_within(candidates)
-    return min(inside) if inside else None
+def _first_edge_within(player: Player, candidate_mask: int) -> Edge | None:
+    """The player's first local edge with both endpoints in the mask.
+
+    The mask harvest enumerates ascending, so element 0 is the minimum.
+    """
+    inside = player.edges_within_mask(candidate_mask)
+    return inside[0] if inside else None
 
 
 def _triangle_edges(triangle: tuple[int, int, int]) -> tuple[Edge, ...]:

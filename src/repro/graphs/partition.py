@@ -74,6 +74,41 @@ class EdgePartition:
     def k(self) -> int:
         return len(self.views)
 
+    def adjacency_rows(self, player: int) -> list[int]:
+        """Player ``player``'s view as per-vertex adjacency masks, cached.
+
+        This is the bitset-kernel form of ``views[player]`` (one int per
+        vertex, bit ``v`` of row ``u`` set iff {u, v} ∈ E_j) that
+        :func:`~repro.comm.players.make_players` hands to the mask-native
+        players.  Built once per player and memoized on the partition, so
+        repeated protocol trials on the same partition never re-shred the
+        edge views.  Treat the returned list as READ-ONLY — it is shared
+        by every Player built from this partition.
+        """
+        return self._rows_and_count(player)[0]
+
+    def view_edge_count(self, player: int) -> int:
+        """Distinct-edge count of ``views[player]``, cached with the rows."""
+        return self._rows_and_count(player)[1]
+
+    def _rows_and_count(self, player: int) -> tuple[list[int], int]:
+        cache: dict[int, tuple[list[int], int]] | None = getattr(
+            self, "_rows_cache", None
+        )
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_rows_cache", cache)
+        entry = cache.get(player)
+        if entry is None:
+            rows = [0] * self.graph.n
+            for u, v in self.views[player]:
+                rows[u] |= 1 << v
+                rows[v] |= 1 << u
+            count = sum(row.bit_count() for row in rows) // 2
+            entry = (rows, count)
+            cache[player] = entry
+        return entry
+
     @property
     def has_duplication(self) -> bool:
         total = sum(len(view) for view in self.views)

@@ -51,7 +51,7 @@ def streaming_to_oneway(
         algorithm = algorithm_factory()
         if state is not None:
             algorithm.import_state(state["state"])
-        for edge in sorted(player.edges):
+        for edge in player.sorted_edges():
             algorithm.process(edge)
         return {
             "state": algorithm.export_state(),
@@ -65,7 +65,7 @@ def streaming_to_oneway(
         algorithm = algorithm_factory()
         if state is not None:
             algorithm.import_state(state["state"])
-        for edge in sorted(player.edges):
+        for edge in player.sorted_edges():
             algorithm.process(edge)
         return algorithm.result()
 

@@ -117,11 +117,53 @@ class TestSummary:
         assert ledger.summary().bits_by_player == {0: 5}
 
     def test_records_immutable_view(self):
-        ledger = CommunicationLedger()
+        ledger = CommunicationLedger(record_messages=True)
         ledger.charge_upstream(0, 1)
         records = ledger.records
         assert len(records) == 1
         assert isinstance(records, tuple)
+
+    def test_records_opt_in(self):
+        # The aggregate-only default retains no transcript and says so
+        # loudly instead of silently answering with nothing.
+        ledger = CommunicationLedger()
+        ledger.charge_upstream(0, 1)
+        assert not ledger.record_messages
+        with pytest.raises(RuntimeError):
+            _ = ledger.records
+
+    def test_recording_mode_keeps_directions_and_labels(self):
+        ledger = CommunicationLedger(record_messages=True)
+        with ledger.scope("phase"):
+            ledger.charge_upstream(1, 4)
+            ledger.charge_downstream(2, 3)
+        ledger.charge_broadcast(2, 5, label="post")
+        senders = [r.sender for r in ledger.records]
+        receivers = [r.receiver for r in ledger.records]
+        labels = [r.label for r in ledger.records]
+        assert senders == [1, COORDINATOR, COORDINATOR, COORDINATOR]
+        assert receivers == [COORDINATOR, 2, 0, 1]
+        assert labels == ["phase", "phase", "post", "post"]
+
+    def test_aggregates_match_recorded_transcript(self):
+        # The running counters must answer exactly what a walk over the
+        # retained records would.
+        ledger = CommunicationLedger(record_messages=True)
+        ledger.begin_round()
+        with ledger.scope("a"):
+            ledger.charge_upstream(0, 5)
+            ledger.charge_upstream(1, 7)
+        ledger.charge_downstream(0, 2, label="b")
+        ledger.charge_broadcast(3, 4)
+        records = ledger.records
+        assert ledger.total_bits == sum(r.bits for r in records)
+        assert ledger.upstream_bits == sum(
+            r.bits for r in records if r.receiver == COORDINATOR
+        )
+        assert ledger.downstream_bits == sum(
+            r.bits for r in records if r.sender == COORDINATOR
+        )
+        assert ledger.summary().messages == len(records)
 
     def test_str_contains_totals(self):
         ledger = CommunicationLedger()

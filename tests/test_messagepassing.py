@@ -4,6 +4,7 @@ import pytest
 
 from repro.comm.coordinator import CoordinatorRuntime
 from repro.comm.encoding import bits_for_universe
+from repro.comm.ledger import CommunicationLedger
 from repro.comm.messagepassing import (
     MessagePassingRecord,
     MessagePassingRuntime,
@@ -86,8 +87,13 @@ class TestToCoordinator:
 
 
 class TestFromCoordinator:
+    # Replaying a coordinator run point-to-point needs the per-message
+    # transcript, which is opt-in on the aggregate-first ledger.
     def test_appointed_player_messages_free(self):
-        rt = CoordinatorRuntime(players(3), SharedRandomness(1))
+        rt = CoordinatorRuntime(
+            players(3), SharedRandomness(1),
+            ledger=CommunicationLedger(record_messages=True),
+        )
         rt.collect(compute=lambda p: 0, response_bits=lambda _: 6)
         mp_cost = message_passing_cost_of_coordinator_run(
             rt.ledger, coordinator_player=0
@@ -97,7 +103,10 @@ class TestFromCoordinator:
         assert mp_cost == rt.ledger.total_bits - 7
 
     def test_zero_overhead_direction(self):
-        rt = CoordinatorRuntime(players(4), SharedRandomness(1))
+        rt = CoordinatorRuntime(
+            players(4), SharedRandomness(1),
+            ledger=CommunicationLedger(record_messages=True),
+        )
         rt.collect(compute=lambda p: 0, response_bits=lambda _: 5)
         mp_cost = message_passing_cost_of_coordinator_run(rt.ledger)
         assert mp_cost <= rt.ledger.total_bits

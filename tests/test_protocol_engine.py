@@ -1,0 +1,400 @@
+"""Differential tests: mask-native protocol engine vs the set reference.
+
+Three layers, mirroring the PR 2 graph-kernel suite:
+
+* **Players** — hypothesis drives random edge views and random sample
+  sets/masks through the mask-native :class:`repro.comm.players.Player`
+  and the preserved :class:`repro.comm.reference.SetPlayer`, asserting
+  every harvest, degree, and ranked-minimum query agrees.
+* **Protocols** — whole runs of sim-low / sim-high / oblivious /
+  unrestricted / subgraph detection with both player backends produce
+  identical ``DetectionResult``s, including cost summaries, and the
+  pinned-seed outputs recorded from the seed commit are reproduced
+  bit for bit.
+* **Ledger** — the aggregate-counter ledger answers every reporting query
+  exactly as a record-retaining twin does, at O(1) per query and with no
+  per-message allocation in the default mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.table1 import far_disjoint_instance
+from repro.comm.ledger import COORDINATOR, CommunicationLedger
+from repro.comm.players import Player, make_players
+from repro.comm.randomness import SharedRandomness
+from repro.comm.reference import SetPlayer, make_set_players
+from repro.core.oblivious import ObliviousParams, find_triangle_sim_oblivious
+from repro.core.simultaneous_high import SimHighParams, find_triangle_sim_high
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+from repro.core.subgraph_detection import (
+    FOUR_CYCLE,
+    SubgraphParams,
+    find_subgraph_simultaneous,
+)
+from repro.core.unrestricted import UnrestrictedParams, find_triangle_unrestricted
+from repro.graphs.generators import gnd
+from repro.graphs.graph import mask_of
+from repro.graphs.partition import partition_disjoint, partition_with_duplication
+
+N_SMALL = 24
+
+EDGE_VIEWS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_SMALL - 1),
+        st.integers(min_value=0, max_value=N_SMALL - 1),
+    ).filter(lambda e: e[0] != e[1]),
+    max_size=60,
+)
+VERTEX_SETS = st.sets(
+    st.integers(min_value=0, max_value=N_SMALL - 1), max_size=N_SMALL
+)
+
+
+def build_both(edges) -> tuple[Player, SetPlayer]:
+    return Player(0, N_SMALL, edges), SetPlayer(0, N_SMALL, edges)
+
+
+class TestPlayerDifferential:
+    @given(EDGE_VIEWS)
+    @settings(max_examples=100, deadline=None)
+    def test_introspection_agrees(self, edges):
+        mask, ref = build_both(edges)
+        assert mask.edges == ref.edges
+        assert mask.num_edges == ref.num_edges
+        assert mask.sorted_edges() == ref.sorted_edges()
+        assert mask.sorted_edges() == sorted(ref.edges)
+        assert mask.average_local_degree() == ref.average_local_degree()
+        for v in range(N_SMALL):
+            assert mask.local_degree(v) == ref.local_degree(v)
+            assert mask.local_neighbors(v) == ref.local_neighbors(v)
+            assert mask.local_neighbor_mask(v) == ref.local_neighbor_mask(v)
+            assert mask.degree_msb_index(v) == ref.degree_msb_index(v)
+        for u in range(N_SMALL):
+            for v in range(N_SMALL):
+                assert mask.has_edge(u, v) == ref.has_edge(u, v)
+
+    @given(EDGE_VIEWS, VERTEX_SETS, VERTEX_SETS)
+    @settings(max_examples=150, deadline=None)
+    def test_harvests_agree(self, edges, r_sample, s_sample):
+        mask, ref = build_both(edges)
+        rs_sample = r_sample | s_sample
+        r_mask, rs_mask = mask_of(r_sample), mask_of(rs_sample)
+        s_mask = mask_of(s_sample)
+
+        assert mask.edges_within(s_sample) == ref.edges_within(s_sample)
+        assert mask.edges_within_mask(s_mask) == ref.edges_within_mask(s_mask)
+        assert mask.edges_within_mask(s_mask) == sorted(
+            ref.edges_within(s_sample)
+        )
+
+        assert mask.edges_touching_both(r_sample, rs_sample) == \
+            ref.edges_touching_both(r_sample, rs_sample)
+        assert mask.edges_touching_both_mask(r_mask, rs_mask) == sorted(
+            ref.edges_touching_both(r_sample, rs_sample)
+        )
+        # The arguments need not be nested: R vs S alone must also agree.
+        assert mask.edges_touching_both_mask(r_mask, s_mask) == sorted(
+            ref.edges_touching_both(r_sample, s_sample)
+        )
+
+        for v in range(N_SMALL):
+            assert mask.edges_at_vertex_in_sample(v, s_sample) == \
+                ref.edges_at_vertex_in_sample(v, s_sample)
+            assert mask.edges_at_vertex_in_mask(v, s_mask) == sorted(
+                ref.edges_at_vertex_in_sample(v, s_sample)
+            )
+            assert mask.sample_hits_vertex(v, s_sample) == \
+                ref.sample_hits_vertex(v, s_sample)
+            assert mask.sample_hits_vertex_mask(v, s_mask) == \
+                ref.sample_hits_vertex(v, s_sample)
+
+    @given(EDGE_VIEWS, st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=100, deadline=None)
+    def test_ranked_minima_and_buckets_agree(self, edges, seed):
+        mask, ref = build_both(edges)
+        rank = SharedRandomness(seed).permutation_rank(N_SMALL)
+        for v in range(N_SMALL):
+            assert mask.first_incident_edge_under_rank(v, rank) == \
+                ref.first_incident_edge_under_rank(v, rank)
+        edge_rank = SharedRandomness(seed + 1).permutation_rank(
+            N_SMALL * N_SMALL
+        )
+        assert mask.first_edge_under_rank(
+            lambda e: edge_rank(e[0] * N_SMALL + e[1])
+        ) == ref.first_edge_under_rank(
+            lambda e: edge_rank(e[0] * N_SMALL + e[1])
+        )
+        for index in range(4):
+            for k in (1, 3):
+                assert mask.suspected_bucket(index, k) == \
+                    ref.suspected_bucket(index, k)
+
+    @given(EDGE_VIEWS)
+    @settings(max_examples=40, deadline=None)
+    def test_out_of_universe_vertices_agree(self, edges):
+        # Negative ids must not wrap around to row n+v; ids >= n must
+        # answer "no neighbours", exactly like the dict-backed reference.
+        mask, ref = build_both(edges)
+        for v in (-1, -N_SMALL, N_SMALL, N_SMALL + 5):
+            assert mask.local_degree(v) == ref.local_degree(v) == 0
+            assert mask.local_neighbors(v) == ref.local_neighbors(v)
+            assert mask.local_neighbor_mask(v) == ref.local_neighbor_mask(v)
+            assert mask.degree_msb_index(v) is None
+            assert not mask.has_edge(0, v)
+            assert not mask.has_edge(v, 0)
+            assert not mask.sample_hits_vertex(v, {0, 1})
+            assert mask.edges_at_vertex_in_sample(v, {0, 1}) == set()
+
+    @given(EDGE_VIEWS)
+    @settings(max_examples=60, deadline=None)
+    def test_closing_edges_agree(self, edges):
+        mask, ref = build_both(edges)
+        vees = [((0, 1), (1, 2)), ((3, 4), (4, 5)), ((0, 2), (2, 5))]
+        assert mask.find_closing_edge(vees) == ref.find_closing_edge(vees)
+        bag = [(0, 1), (1, 2), (2, 3), (0, 3)]
+        assert mask.find_closing_edge_for_pairs(bag) == \
+            ref.find_closing_edge_for_pairs(bag)
+
+
+class TestMakePlayersRowCache:
+    def test_rows_cached_on_partition(self):
+        graph = gnd(60, 4.0, seed=3)
+        partition = partition_with_duplication(graph, 3, seed=4)
+        first = partition.adjacency_rows(1)
+        again = partition.adjacency_rows(1)
+        assert first is again  # memoized, not rebuilt
+        players = make_players(partition)
+        assert players[1].adjacency_rows() is first
+
+    def test_make_players_matches_views(self):
+        graph = gnd(50, 4.0, seed=1)
+        partition = partition_with_duplication(graph, 3, seed=2)
+        for player, ref, view in zip(
+            make_players(partition), make_set_players(partition),
+            partition.views,
+        ):
+            assert player.edges == ref.edges == view
+
+
+class TestRandomnessMaskForms:
+    @given(st.integers(min_value=0, max_value=2 ** 31),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bernoulli_mask_matches_set_and_stream(self, seed, p):
+        a, b = SharedRandomness(seed), SharedRandomness(seed)
+        sample = a.bernoulli_subset(100, p, tag=5)
+        mask = b.bernoulli_subset_mask(100, p, tag=5)
+        assert mask == mask_of(sample)
+        # Draw order unchanged: the next public decision agrees.
+        assert a.bernoulli_subset(100, 0.5, tag=6) == \
+            b.bernoulli_subset(100, 0.5, tag=6)
+        assert a.randrange(10 ** 9) == b.randrange(10 ** 9)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31),
+           st.integers(min_value=0, max_value=120))
+    @settings(max_examples=60, deadline=None)
+    def test_sample_without_replacement_mask_matches(self, seed, count):
+        a, b = SharedRandomness(seed), SharedRandomness(seed)
+        sample = a.sample_without_replacement(100, count, tag=2)
+        mask = b.sample_without_replacement_mask(100, count, tag=2)
+        assert mask == mask_of(sample)
+        assert a.randrange(10 ** 9) == b.randrange(10 ** 9)
+
+
+def _partition(n: int, d: float, k: int, seed: int, duplicated: bool):
+    graph = gnd(n, d, seed=seed)
+    if duplicated:
+        return partition_with_duplication(graph, k, seed=seed + 1)
+    return partition_disjoint(graph, k, seed=seed + 1)
+
+
+class TestProtocolDifferential:
+    """Whole protocol runs agree between the two player backends."""
+
+    @pytest.mark.parametrize("duplicated", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sim_low_identical(self, seed, duplicated):
+        partition = _partition(120, 5.0, 3, seed, duplicated)
+        params = SimLowParams(epsilon=0.2, delta=0.2)
+        mask = find_triangle_sim_low(partition, params, seed=seed)
+        ref = find_triangle_sim_low(
+            partition, params, seed=seed, player_factory=make_set_players
+        )
+        assert mask == ref
+
+    @pytest.mark.parametrize("duplicated", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sim_high_identical(self, seed, duplicated):
+        partition = _partition(120, 8.0, 3, seed, duplicated)
+        for bernoulli in (False, True):
+            params = SimHighParams(
+                epsilon=0.2, delta=0.2, bernoulli_sampling=bernoulli
+            )
+            mask = find_triangle_sim_high(partition, params, seed=seed)
+            ref = find_triangle_sim_high(
+                partition, params, seed=seed,
+                player_factory=make_set_players,
+            )
+            assert mask == ref
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_oblivious_identical(self, seed):
+        partition = _partition(120, 6.0, 4, seed, True)
+        params = ObliviousParams(epsilon=0.2, delta=0.2)
+        mask = find_triangle_sim_oblivious(partition, params, seed=seed)
+        ref = find_triangle_sim_oblivious(
+            partition, params, seed=seed, player_factory=make_set_players
+        )
+        assert mask == ref
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_unrestricted_identical(self, seed):
+        partition = _partition(100, 6.0, 3, seed, True)
+        params = UnrestrictedParams(
+            epsilon=0.2, delta=0.2, known_average_degree=6.0,
+            samples_per_bucket=4, max_candidates=3,
+        )
+        mask = find_triangle_unrestricted(partition, params, seed=seed)
+        ref = find_triangle_unrestricted(
+            partition, params, seed=seed, player_factory=make_set_players
+        )
+        assert mask == ref
+
+    def test_subgraph_identical(self):
+        partition = _partition(120, 6.0, 3, 5, False)
+        params = SubgraphParams(epsilon=0.2, rounds=2)
+        mask = find_subgraph_simultaneous(partition, FOUR_CYCLE, params, seed=3)
+        ref = find_subgraph_simultaneous(
+            partition, FOUR_CYCLE, params, seed=3,
+            player_factory=make_set_players,
+        )
+        assert mask == ref
+
+
+# Recorded from the seed commit (PR 2 HEAD, before the mask engine):
+# (n, d, trial seed) -> ((found, triangle, total_bits) per protocol).
+# The far_disjoint_instance partition is built with instance seed 7.
+SEED_COMMIT_BASELINE = {
+    (400, 6.0, 0): (
+        (True, (151, 268, 299), 5724),
+        (True, (59, 86, 252), 1530),
+        (True, (118, 194, 318), 8908),
+    ),
+    (400, 6.0, 1): (
+        (True, (151, 268, 299), 6768),
+        (True, (147, 272, 311), 1440),
+        (True, (70, 142, 220), 10024),
+    ),
+    (400, 6.0, 2): (
+        (True, (75, 186, 244), 6840),
+        (True, (218, 254, 272), 1404),
+        (True, (218, 254, 272), 9395),
+    ),
+    (800, 10.0, 0): (
+        (True, (240, 738, 742), 11240),
+        (True, (164, 166, 433), 2300),
+        (True, (54, 328, 365), 25360),
+    ),
+}
+
+
+class TestSeedCommitDeterminism:
+    @pytest.mark.parametrize("point", sorted(SEED_COMMIT_BASELINE))
+    def test_detection_results_unchanged(self, point):
+        n, d, seed = point
+        partition = far_disjoint_instance(epsilon=0.2, k=3)(n, d, 7)
+        low = find_triangle_sim_low(
+            partition, SimLowParams(epsilon=0.2, delta=0.2), seed=seed
+        )
+        high = find_triangle_sim_high(
+            partition, SimHighParams(epsilon=0.2, delta=0.2, c=2.0), seed=seed
+        )
+        oblivious = find_triangle_sim_oblivious(
+            partition, ObliviousParams(epsilon=0.2, delta=0.2), seed=seed
+        )
+        got = tuple(
+            (r.found, r.triangle, r.cost.total_bits)
+            for r in (low, high, oblivious)
+        )
+        assert got == SEED_COMMIT_BASELINE[point]
+
+
+CHARGES = st.lists(
+    st.tuples(
+        st.sampled_from(["up", "down", "broadcast", "round"]),
+        st.integers(min_value=0, max_value=5),    # player / audience
+        st.integers(min_value=0, max_value=200),  # bits
+        st.sampled_from(["", "a", "b", "c"]),
+    ),
+    max_size=80,
+)
+
+
+def _apply(ledger: CommunicationLedger, charges) -> None:
+    for op, who, bits, label in charges:
+        if op == "up":
+            ledger.charge_upstream(who, bits, label)
+        elif op == "down":
+            ledger.charge_downstream(who, bits, label)
+        elif op == "broadcast":
+            ledger.charge_broadcast(who, bits, label)
+        else:
+            ledger.begin_round()
+
+
+class TestLedgerDifferential:
+    @given(CHARGES)
+    @settings(max_examples=150, deadline=None)
+    def test_aggregate_equals_recording_twin(self, charges):
+        aggregate = CommunicationLedger()
+        recording = CommunicationLedger(record_messages=True)
+        _apply(aggregate, charges)
+        _apply(recording, charges)
+        assert aggregate.summary() == recording.summary()
+        assert aggregate.total_bits == recording.total_bits
+        assert aggregate.upstream_bits == recording.upstream_bits
+        assert aggregate.downstream_bits == recording.downstream_bits
+        assert aggregate.rounds == recording.rounds
+        for player in range(6):
+            assert aggregate.player_bits(player) == \
+                recording.player_bits(player)
+        # And the recording twin's transcript re-derives its own summary.
+        summary = recording.summary()
+        assert summary.total_bits == sum(r.bits for r in recording.records)
+        assert summary.upstream_bits == sum(
+            r.bits for r in recording.records if r.receiver == COORDINATOR
+        )
+
+    def test_hundred_thousand_charges_without_record_walk(self):
+        """Regression: totals are O(1) reads, not O(messages) re-sums.
+
+        10^5 charges; the default ledger must answer every reporting
+        query from counters — it retains no record list at all (records
+        access raises), so no walk over per-message state is possible —
+        and a record-retaining twin agrees on every total.
+        """
+        aggregate = CommunicationLedger()
+        recording = CommunicationLedger(record_messages=True)
+        for i in range(100_000):
+            aggregate.charge_upstream(i % 7, i % 13, "bulk")
+            recording.charge_upstream(i % 7, i % 13, "bulk")
+        aggregate.charge_broadcast(5, 3, "post")
+        recording.charge_broadcast(5, 3, "post")
+        assert aggregate._records is None  # no per-message storage at all
+        with pytest.raises(RuntimeError):
+            _ = aggregate.records
+        assert aggregate.summary() == recording.summary()
+        assert aggregate.summary().messages == 100_005
+        assert len(recording.records) == 100_005
+
+    def test_broadcast_is_one_update(self):
+        ledger = CommunicationLedger()
+        ledger.charge_broadcast(1000, 7, "wide")
+        assert ledger.total_bits == 7000
+        assert ledger.downstream_bits == 7000
+        assert ledger.summary().messages == 1000
+        assert ledger.summary().bits_by_label == {"wide": 7000}
