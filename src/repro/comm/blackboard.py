@@ -8,7 +8,20 @@ broadcast of collected edges back to the players is free compared with the
 coordinator model's k private copies.
 
 The runtime offers the deduplicating edge-posting round directly, since that
-is the only blackboard-specific behaviour the protocols need.
+is the only blackboard-specific behaviour the protocols need.  Posted edges
+are tracked on a *per-vertex posted-rows board* (the same mask-kernel
+representation as :class:`~repro.graphs.graph.Graph`), kept internally in
+canonical upper-triangular form — bit ``v`` of row ``u`` (``u < v``) marks
+edge ``{u, v}`` as posted, which is the only bit the dedup test ever
+reads; the full symmetric view is materialized lazily by
+:attr:`BlackboardRuntime.board_rows`.  The "already posted?" test is one
+shift-and-test, and the mask form
+:meth:`BlackboardRuntime.post_rows_in_turns` computes a whole player's
+fresh edges as ``harvest_row & ~board_row`` per vertex — word-wide, in
+exactly the ascending canonical order the edge form posts sorted harvests
+in.  The original set-of-tuples dedup loop survives as
+:func:`repro.comm.reference.post_edges_in_turns_reference` for
+differential tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -37,6 +50,29 @@ class BlackboardRuntime:
         self.shared = shared if shared is not None else SharedRandomness()
         self.ledger = ledger if ledger is not None else CommunicationLedger()
         self.board: list[tuple[int, object]] = []
+        self._board_upper: list[int] = [0] * self.n
+        self._board_rows_cache: list[int] | None = None
+
+    @property
+    def board_rows(self) -> list[int]:
+        """Symmetric per-vertex masks of every edge posted so far.
+
+        Materialized on demand from the canonical upper-triangular board
+        (one mirror pass over the posted edges, cached until the next
+        post) — treat as READ-ONLY.
+        """
+        if self._board_rows_cache is None:
+            rows = list(self._board_upper)
+            for u, upper in enumerate(self._board_upper):
+                if not upper:
+                    continue
+                bit_u = 1 << u
+                while upper:
+                    low = upper & -upper
+                    upper ^= low
+                    rows[low.bit_length() - 1] |= bit_u
+            self._board_rows_cache = rows
+        return self._board_rows_cache
 
     def post(self, player_id: int, payload: object, bits: int,
              label: str = "blackboard") -> None:
@@ -55,25 +91,104 @@ class BlackboardRuntime:
         """Players post their harvested edges in turn, never repeating.
 
         Each player locally computes its harvest, subtracts what is already
-        on the board, and posts only the remainder — this is exactly how
-        Theorem 3.23 saves the factor k over the coordinator model.  An
-        optional global ``cap`` bounds the total number of posted edges.
+        on the board (one board-row bit test per edge), and posts only
+        the remainder — this is exactly how Theorem 3.23 saves the factor k
+        over the coordinator model.  An optional global ``cap`` bounds the
+        total number of *distinct* posted edges; duplicates inside a
+        harvest are never charged and never count toward the cap, a player
+        whose whole harvest is stale is not charged a round, and once the
+        cap is reached no further player is charged anything.  The board
+        is orientation-insensitive (edges are normalized before the dedup
+        test); harvests that yield canonical edges — every caller in the
+        repo — post byte-identical payloads to the historical set-based
+        loop.
         """
+        board = self._board_upper
         posted: set[Edge] = set()
         for player in self.players:
-            fresh = [e for e in harvest(player) if e not in posted]
-            if cap is not None:
-                remaining = cap - len(posted)
-                if remaining <= 0:
+            if cap is not None and len(posted) >= cap:
+                break
+            remaining = None if cap is None else cap - len(posted)
+            fresh: list[Edge] = []
+            for edge in harvest(player):
+                if remaining is not None and len(fresh) >= remaining:
                     break
-                fresh = fresh[:remaining]
+                u, v = edge
+                if v < u:
+                    u, v = v, u
+                if board[u] >> v & 1:
+                    continue
+                board[u] |= 1 << v
+                fresh.append(edge)
             if not fresh:
                 continue
+            self._board_rows_cache = None
             self.post(
                 player.player_id, tuple(fresh),
                 per_edge_bits * len(fresh), label,
             )
             posted.update(fresh)
+        return posted
+
+    def post_rows_in_turns(
+        self,
+        harvest_rows: Callable[[Player], Sequence[int]],
+        per_edge_bits: int,
+        label: str = "blackboard-edges",
+        cap: int | None = None,
+    ) -> list[Edge]:
+        """Mask form of :meth:`post_edges_in_turns`: row harvests, word-wide.
+
+        ``harvest_rows(player)`` returns symmetric per-vertex adjacency
+        masks (e.g. :meth:`~repro.comm.players.Player.adjacency_rows`);
+        each player's fresh edges are ``harvest_row & ~board_row`` per
+        vertex — one word-wide ``&``-and-clear per inhabited row, with a
+        stale player costing a pure mask scan and no per-edge work —
+        enumerated (and therefore posted, charged, and cap-truncated) in
+        ascending canonical order, identical to feeding the edge form a
+        sorted harvest.  Returns every edge posted by this call, in
+        posting order.
+        """
+        board = self._board_upper
+        posted: list[Edge] = []
+        for player in self.players:
+            if cap is not None and len(posted) >= cap:
+                break
+            remaining = None if cap is None else cap - len(posted)
+            rows = harvest_rows(player)
+            fresh: list[Edge] = []
+            for u in range(min(self.n, len(rows))):
+                # The board holds upper bits only, so the lower bits of
+                # the harvest row fall off the shift: one word-wide
+                # &-and-shift yields the fresh partners above u, and the
+                # peeling below runs on the narrowed mask.
+                new = (rows[u] & ~board[u]) >> (u + 1)
+                if not new:
+                    continue
+                if remaining is not None and \
+                        len(fresh) + new.bit_count() > remaining:
+                    # Cap hit mid-row: accept only the lowest remainder.
+                    accepted = 0
+                    while len(fresh) < remaining:
+                        low = new & -new
+                        new ^= low
+                        accepted |= low
+                        fresh.append((u, u + low.bit_length()))
+                    board[u] |= accepted << (u + 1)
+                    break
+                board[u] |= new << (u + 1)
+                while new:
+                    low = new & -new
+                    new ^= low
+                    fresh.append((u, u + low.bit_length()))
+            if not fresh:
+                continue
+            self._board_rows_cache = None
+            self.post(
+                player.player_id, tuple(fresh),
+                per_edge_bits * len(fresh), label,
+            )
+            posted.extend(fresh)
         return posted
 
     def __repr__(self) -> str:

@@ -29,7 +29,11 @@ from typing import Callable, Iterable, Sequence
 from repro.graphs.buckets import degrees_from_view, player_suspected_bucket
 from repro.graphs.graph import Edge, canonical_edge, mask_of
 
-__all__ = ["SetPlayer", "make_set_players"]
+__all__ = [
+    "SetPlayer",
+    "make_set_players",
+    "post_edges_in_turns_reference",
+]
 
 _BYTE_BITS = {
     byte: tuple(b for b in range(8) if byte >> b & 1) for byte in range(256)
@@ -266,3 +270,35 @@ def make_set_players(partition) -> list[SetPlayer]:
     return [
         SetPlayer(j, n, view) for j, view in enumerate(partition.views)
     ]
+
+
+def post_edges_in_turns_reference(runtime, harvest, per_edge_bits: int,
+                                  label: str = "blackboard-edges",
+                                  cap: int | None = None) -> set[Edge]:
+    """The pre-PR 4 set-of-tuples blackboard posting round.
+
+    Operates on a :class:`~repro.comm.blackboard.BlackboardRuntime`
+    (posting to its board and charging its ledger) but dedupes via a
+    Python ``set[Edge]`` exactly as
+    ``BlackboardRuntime.post_edges_in_turns`` did before the posted-rows
+    board — the baseline the differential tests and
+    ``benchmarks/bench_mask_migration.py`` compare against.  (It also
+    reproduces the historical cap quirk: in-harvest duplicates counted
+    toward the cap and were charged.)
+    """
+    posted: set[Edge] = set()
+    for player in runtime.players:
+        fresh = [e for e in harvest(player) if e not in posted]
+        if cap is not None:
+            remaining = cap - len(posted)
+            if remaining <= 0:
+                break
+            fresh = fresh[:remaining]
+        if not fresh:
+            continue
+        runtime.post(
+            player.player_id, tuple(fresh), per_edge_bits * len(fresh),
+            label,
+        )
+        posted.update(fresh)
+    return posted

@@ -18,10 +18,11 @@ from __future__ import annotations
 from repro.comm.encoding import edge_bits
 from repro.comm.players import make_players
 from repro.comm.simultaneous import run_simultaneous
+from repro.core.referee import rows_union_triangle_referee
 from repro.core.results import DetectionResult
 from repro.graphs.graph import Edge
 from repro.graphs.partition import EdgePartition
-from repro.graphs.triangles import find_triangle_among
+from repro.graphs.triangles import find_triangle_in_rows
 
 __all__ = ["exact_triangle_detection", "exact_triangle_detection_blackboard"]
 
@@ -36,10 +37,7 @@ def exact_triangle_detection(partition: EdgePartition) -> DetectionResult:
     n = partition.graph.n
 
     def referee_fn(messages: list[list[Edge]], _):
-        union: set[Edge] = set()
-        for message in messages:
-            union.update(message)
-        return find_triangle_among(union)
+        return rows_union_triangle_referee(messages, n)
 
     run = run_simultaneous(
         players,
@@ -78,12 +76,14 @@ def exact_triangle_detection_blackboard(partition: EdgePartition
     players = make_players(partition)
     n = partition.graph.n
     rt = BlackboardRuntime(players)
-    posted = rt.post_edges_in_turns(
-        harvest=lambda player: player.sorted_edges(),
+    # Row harvests: each player's whole view is its adjacency rows, so
+    # fresh-edge computation and the final search are both word-wide.
+    rt.post_rows_in_turns(
+        harvest_rows=lambda player: player.adjacency_rows(),
         per_edge_bits=edge_bits(n),
         label="exact-blackboard",
     )
-    triangle = find_triangle_among(posted)
+    triangle = find_triangle_in_rows(rt.board_rows)
     return DetectionResult(
         found=triangle is not None,
         triangle=triangle,

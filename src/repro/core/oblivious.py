@@ -29,11 +29,11 @@ from repro.comm.encoding import edge_bits, elias_gamma_bits
 from repro.comm.players import Player, make_players
 from repro.comm.randomness import SharedRandomness
 from repro.comm.simultaneous import run_simultaneous
+from repro.core.referee import rows_union_triangle_referee
 from repro.core.results import DetectionResult
 from repro.graphs.buckets import log2n
 from repro.graphs.graph import Edge
 from repro.graphs.partition import EdgePartition
-from repro.graphs.triangles import find_triangle_among
 
 __all__ = ["ObliviousParams", "find_triangle_sim_oblivious"]
 
@@ -169,15 +169,14 @@ def find_triangle_sim_oblivious(
         return total
 
     def referee_fn(messages: list[InstanceMessage], _: SharedRandomness):
-        # Per-instance union sets retained for iteration-order
-        # compatibility with recorded baselines; find_triangle_among is
-        # the mask kernel.
-        instances: dict[int, set[Edge]] = {}
+        # Per-instance rows unions: each guess's messages fold into
+        # per-vertex masks, searched in ascending guess order.
+        instances: dict[int, list[list[Edge]]] = {}
         for message in messages:
             for i, edges in message.items():
-                instances.setdefault(i, set()).update(edges)
+                instances.setdefault(i, []).append(edges)
         for i in sorted(instances):
-            triangle = find_triangle_among(instances[i])
+            triangle = rows_union_triangle_referee(instances[i], n)
             if triangle is not None:
                 return triangle, i
         return None, None

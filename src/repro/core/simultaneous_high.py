@@ -29,10 +29,10 @@ from repro.comm.encoding import edge_bits
 from repro.comm.players import Player, make_players
 from repro.comm.randomness import SharedRandomness
 from repro.comm.simultaneous import run_simultaneous
+from repro.core.referee import rows_union_triangle_referee
 from repro.core.results import DetectionResult
 from repro.graphs.graph import Edge
 from repro.graphs.partition import EdgePartition
-from repro.graphs.triangles import find_triangle_among
 
 __all__ = ["SimHighParams", "find_triangle_sim_high"]
 
@@ -116,12 +116,9 @@ def find_triangle_sim_high(
         return harvest
 
     def referee_fn(messages: list[list[Edge]], _: SharedRandomness):
-        # Union set retained for iteration-order compatibility with the
-        # recorded baselines; find_triangle_among is the mask kernel.
-        union: set[Edge] = set()
-        for message in messages:
-            union.update(message)
-        return find_triangle_among(union)
+        # Rows-union referee: deterministic in the union, not in any
+        # message or hash iteration order.
+        return rows_union_triangle_referee(messages, n)
 
     run = run_simultaneous(
         players,

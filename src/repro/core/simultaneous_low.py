@@ -31,10 +31,10 @@ from repro.comm.encoding import edge_bits
 from repro.comm.players import Player, make_players
 from repro.comm.randomness import SharedRandomness
 from repro.comm.simultaneous import run_simultaneous
+from repro.core.referee import rows_union_triangle_referee
 from repro.core.results import DetectionResult
 from repro.graphs.graph import Edge
 from repro.graphs.partition import EdgePartition
-from repro.graphs.triangles import find_triangle_among
 
 __all__ = ["SimLowParams", "find_triangle_sim_low"]
 
@@ -122,14 +122,10 @@ def find_triangle_sim_low(
         return harvest
 
     def referee_fn(messages: list[list[Edge]], _: SharedRandomness):
-        # The union *set* is retained deliberately: find_triangle_among
-        # (the PR 2 mask kernel) picks the first triangle in iteration
-        # order, and the set's order is what the recorded baseline
-        # DetectionResults were produced under.
-        union: set[Edge] = set()
-        for message in messages:
-            union.update(message)
-        return find_triangle_among(union)
+        # Rows-union referee: messages fold into per-vertex masks and
+        # the first ascending triangle is reported — a deterministic
+        # function of the union, independent of message or hash order.
+        return rows_union_triangle_referee(messages, n)
 
     run = run_simultaneous(
         players,

@@ -40,6 +40,7 @@ __all__ = [
     "is_triangle_free",
     "contains_triangle_among",
     "find_triangle_among",
+    "find_triangle_in_rows",
     "iter_triangle_vees",
     "is_triangle_vee",
     "close_vee",
@@ -162,6 +163,30 @@ def find_triangle_among(edges: Iterable[Edge]) -> Triangle | None:
                 return _canonical_triangle(
                     u, v + u + 1, low.bit_length() - 1
                 )
+    return None
+
+
+def find_triangle_in_rows(rows) -> Triangle | None:
+    """First triangle (ascending) in raw per-vertex adjacency masks.
+
+    The kernel form of :func:`find_triangle` for callers that hold bare
+    rows rather than a :class:`Graph` — referees that union messages
+    word-wide, the blackboard's posted-rows board.  Scans base edges
+    ascending; the first edge whose endpoints share a neighbour closes
+    with the lowest such apex, so the result is a deterministic function
+    of the edge *set*, independent of any message or iteration order.
+    """
+    for u in range(len(rows)):
+        row_u = rows[u]
+        upper = row_u >> (u + 1)
+        while upper:
+            low = upper & -upper
+            v = u + low.bit_length()
+            common = row_u & rows[v]
+            if common:
+                apex = common & -common
+                return _canonical_triangle(u, v, apex.bit_length() - 1)
+            upper ^= low
     return None
 
 

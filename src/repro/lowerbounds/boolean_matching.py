@@ -29,7 +29,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.graphs.graph import Edge, Graph
+from repro.graphs.graph import Edge, Graph, iter_bits
 from repro.graphs.partition import EdgePartition
 
 __all__ = [
@@ -128,15 +128,23 @@ def reduction_graph(instance: BMInstance
     """Build (graph, Alice's edges, Bob's edges) for the reduction.
 
     Vertices: hub 0 plus (j, b) for j in [2n], b in {0,1} — total 1 + 4n.
+
+    Alice's view is one adjacency row — the hub's neighbour mask,
+    committed in a single bulk :meth:`~repro.graphs.graph.Graph.add_neighbors`
+    — and Bob's gadget edges accumulate as per-vertex rows (one bit per
+    side edge, keyed at the lower endpoint) committed row by row, so the
+    reduction is assembled on the mask kernel instead of edge-at-a-time.
+    The returned edge sets are enumerated back from those rows.
     """
     n_vertices = 1 + 4 * instance.n
     graph = Graph(n_vertices)
-    alice: set[Edge] = set()
-    bob: set[Edge] = set()
+    hub = hub_vertex()
+    hub_row = 0
     for j, bit in enumerate(instance.x):
-        edge = (hub_vertex(), side_vertex(j, bit))
-        graph.add_edge(*edge)
-        alice.add(edge)
+        hub_row |= 1 << side_vertex(j, bit)
+    graph.add_neighbors(hub, hub_row)
+    alice: set[Edge] = {(hub, v) for v in iter_bits(hub_row)}
+    bob_rows: dict[int, int] = {}
     for i, (j1, j2) in enumerate(instance.matching):
         if instance.w[i] == 0:
             pairs = ((0, 0), (1, 1))
@@ -144,9 +152,14 @@ def reduction_graph(instance: BMInstance
             pairs = ((0, 1), (1, 0))
         for b1, b2 in pairs:
             u, v = side_vertex(j1, b1), side_vertex(j2, b2)
-            edge = (min(u, v), max(u, v))
-            graph.add_edge(*edge)
-            bob.add(edge)
+            if v < u:
+                u, v = v, u
+            bob_rows[u] = bob_rows.get(u, 0) | (1 << v)
+    bob: set[Edge] = set()
+    for u, row in bob_rows.items():
+        graph.add_neighbors(u, row)
+        for v in iter_bits(row):
+            bob.add((u, v))
     return graph, alice, bob
 
 

@@ -11,6 +11,16 @@ bound family the theorem squeezes:
 * Charlie intersects: any of his edges (v1, v2) with a common u in both
   samples is a certified triangle edge.
 
+Messages are assembled from the partition's cached adjacency rows
+(:meth:`~repro.graphs.partition.EdgePartition.adjacency_rows`): Alice's
+pool and Bob's reply are row enumerations (ascending canonical order —
+exactly the ``sorted(...)`` order the set-based predecessor imposed, so
+transcripts are byte-identical, including the ``shuffled`` draw
+sequence), and Charlie's intersection is one per-U-vertex mask ``&``
+per candidate edge instead of nested dict-of-set probes.  The per-edge
+predecessor survives as
+:func:`repro.lowerbounds.reference.oneway_triangle_edge_protocol_reference`.
+
 Success provably needs Alice's sample to seed Ω(1) complete vees, so the
 budget/success curve measured by :func:`budget_success_curve` is exactly
 the trade-off the Ω(n^{1/4}) bound constrains.
@@ -22,10 +32,18 @@ from dataclasses import dataclass
 
 from repro.comm.encoding import edge_bits
 from repro.comm.oneway import OneWayRun, run_extended_oneway
+from repro.comm.players import make_players
 from repro.comm.randomness import SharedRandomness
-from repro.graphs.graph import Edge
+from repro.graphs.graph import Edge, iter_bits
 from repro.graphs.triangles import triangle_edges
 from repro.lowerbounds.distributions import MuDistribution, MuSample
+from repro.runtime import (
+    Executor,
+    InstanceCache,
+    TrialResult,
+    TrialSpec,
+    default_executor,
+)
 
 __all__ = [
     "oneway_triangle_edge_protocol",
@@ -45,39 +63,61 @@ def oneway_triangle_edge_protocol(sample: MuSample, alice_budget: int,
     if alice_budget < 0:
         raise ValueError(f"budget must be non-negative, got {alice_budget}")
     n = sample.graph.n
-    players = _players_of(sample)
+    # Players wrap the partition's cached adjacency rows, so every row
+    # read below is the partition mask itself, built once per sample.
+    players = make_players(sample.partition)
 
     def conversation(alice, bob, shared: SharedRandomness, transcript):
-        ordered = shared.shuffled(
-            sorted(alice.edges, key=lambda e: (e[0], e[1])), tag=1
-        )
+        # Alice's pool in ascending canonical order — the row enumeration
+        # equals the predecessor's sorted frozenset, so the public
+        # shuffle consumes the identical draw.
+        ordered = shared.shuffled(alice.sorted_edges(), tag=1)
         alice_sample = sorted(ordered[:alice_budget])
         transcript.append(
             0, alice_sample, max(1, len(alice_sample) * edge_bits(n))
         )
-        seeded_us = {min(edge) for edge in alice_sample}
-        bob_reply = sorted(
-            edge for edge in bob.edges if min(edge) in seeded_us
-        )[: max(1, alice_budget)]
+        # Bob forwards his edges at the seeded U-vertices.  µ-split edges
+        # have their U-endpoint as the canonical minimum, so walking the
+        # seeded vertices ascending and each row's upper partners emits
+        # the reply already sorted; the cap truncates the same prefix.
+        seeded_mask = 0
+        for u, _v1 in alice_sample:
+            seeded_mask |= 1 << u
+        reply_cap = max(1, alice_budget)
+        bob_reply: list[Edge] = []
+        for u in iter_bits(seeded_mask):
+            if len(bob_reply) >= reply_cap:
+                break
+            partners = bob.local_neighbor_mask(u) >> (u + 1)
+            while partners:
+                low = partners & -partners
+                bob_reply.append((u, u + low.bit_length()))
+                if len(bob_reply) >= reply_cap:
+                    break
+                partners ^= low
         transcript.append(
             1, bob_reply, max(1, len(bob_reply) * edge_bits(n))
         )
 
     def charlie_output(charlie, transcript, shared) -> Edge | None:
         alice_sample, bob_reply = transcript.payloads()
-        # Per U-vertex: which V1 / V2 partners did Alice / Bob certify?
-        v1_by_u: dict[int, set[int]] = {}
-        for edge in alice_sample:
-            u, v1 = min(edge), max(edge)
-            v1_by_u.setdefault(u, set()).add(v1)
-        v2_by_u: dict[int, set[int]] = {}
-        for edge in bob_reply:
-            u, v2 = min(edge), max(edge)
-            v2_by_u.setdefault(u, set()).add(v2)
-        for v1, v2 in sorted(charlie.edges):
-            for u in v1_by_u:
-                if v1 in v1_by_u[u] and v2 in v2_by_u.get(u, ()):
+        # Per V-vertex: the mask of U-vertices Alice / Bob certified for
+        # it.  An edge (v1, v2) closes a triangle iff the two masks
+        # intersect — one ``&`` per candidate edge.
+        u_by_v1: dict[int, int] = {}
+        for u, v1 in alice_sample:
+            u_by_v1[v1] = u_by_v1.get(v1, 0) | (1 << u)
+        u_by_v2: dict[int, int] = {}
+        for u, v2 in bob_reply:
+            u_by_v2[v2] = u_by_v2.get(v2, 0) | (1 << u)
+        for v1, mask_v1 in sorted(u_by_v1.items()):
+            partners = charlie.local_neighbor_mask(v1) >> (v1 + 1)
+            while partners:
+                low = partners & -partners
+                v2 = v1 + low.bit_length()
+                if mask_v1 & u_by_v2.get(v2, 0):
                     return (v1, v2)
+                partners ^= low
         return None
 
     return run_extended_oneway(
@@ -85,12 +125,6 @@ def oneway_triangle_edge_protocol(sample: MuSample, alice_budget: int,
         conversation, charlie_output,
         shared=SharedRandomness(seed),
     )
-
-
-def _players_of(sample: MuSample):
-    from repro.comm.players import make_players
-
-    return make_players(sample.partition)
 
 
 @dataclass(frozen=True)
@@ -104,36 +138,64 @@ class OneWayCurvePoint:
 
 
 def budget_success_curve(mu: MuDistribution, budgets: list[int],
-                         trials: int = 8, seed: int = 0
+                         trials: int = 8, seed: int = 0, *,
+                         workers: int | None = None,
+                         executor: Executor | None = None
                          ) -> list[OneWayCurvePoint]:
     """Success probability of the protocol per Alice-budget, on far inputs.
 
     Outputs are verified against the ground truth (the edge must really be
     a triangle edge) so the curve measures *correct* solutions of the
     paper's task, not lucky guesses.
+
+    Trials are executed through the experiment runtime: serial by
+    default, or fanned out over a process pool with ``workers=`` /
+    ``executor=`` (the PR 1 seam).  Every trial's randomness is fully
+    determined by ``seed`` and its trial index, so serial and parallel
+    sweeps return byte-identical curves.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
-    points: list[OneWayCurvePoint] = []
-    samples = []
-    for trial in range(trials):
+    cache = InstanceCache(max_entries=max(8, trials))
+
+    def build_sample_with_truth(trial: int):
         sample = mu.sample_far(seed=seed + 1009 * trial, min_packing=1)
-        samples.append((sample, triangle_edges(sample.graph)))
-    for budget in budgets:
-        bits = 0.0
-        successes = 0
-        for trial, (sample, truth) in enumerate(samples):
-            run = oneway_triangle_edge_protocol(
-                sample, budget, seed=seed + trial
-            )
-            bits += run.total_bits
-            if run.output is not None and run.output in truth:
-                successes += 1
+        return sample, triangle_edges(sample.graph)
+
+    def far_sample_with_truth(trial: int):
+        return cache.get_or_build(
+            ("mu-far", trial), lambda: build_sample_with_truth(trial)
+        )
+
+    def run_one(spec: TrialSpec) -> TrialResult:
+        sample, truth = far_sample_with_truth(spec.trial_index)
+        run = oneway_triangle_edge_protocol(
+            sample, budgets[spec.point_index], seed=spec.seed
+        )
+        success = run.output is not None and run.output in truth
+        return TrialResult.from_outcome(
+            spec, bits=run.total_bits, found=success
+        )
+
+    specs = [
+        TrialSpec(
+            point_index=point, trial_index=trial, n=mu.n,
+            d=float(budget), k=3, seed=seed + trial,
+        )
+        for point, budget in enumerate(budgets)
+        for trial in range(trials)
+    ]
+    chosen = executor if executor is not None else default_executor(workers)
+    results = chosen.run_trials(run_one, specs)
+
+    points: list[OneWayCurvePoint] = []
+    for point, budget in enumerate(budgets):
+        rows = [r for r in results if r.point_index == point]
         points.append(
             OneWayCurvePoint(
                 alice_budget=budget,
-                mean_bits=bits / trials,
-                success_rate=successes / trials,
+                mean_bits=sum(r.bits for r in rows) / trials,
+                success_rate=sum(1 for r in rows if r.found) / trials,
             )
         )
     return points

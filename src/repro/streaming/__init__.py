@@ -5,7 +5,13 @@ from repro.streaming.reduction import (
     space_lower_bound_from_oneway,
     streaming_to_oneway,
 )
-from repro.streaming.stream import StreamingAlgorithm, StreamRun, run_stream
+from repro.streaming.stream import (
+    StreamingAlgorithm,
+    StreamRun,
+    canonical_row_batches,
+    run_stream,
+    run_stream_rows,
+)
 from repro.streaming.triangle_stream import (
     CountingExactFinder,
     ReservoirTriangleFinder,
@@ -15,6 +21,8 @@ __all__ = [
     "StreamingAlgorithm",
     "StreamRun",
     "run_stream",
+    "run_stream_rows",
+    "canonical_row_batches",
     "ReservoirTriangleFinder",
     "CountingExactFinder",
     "streaming_to_oneway",

@@ -8,6 +8,16 @@ chain protocol with s bits per hop, so the protocol's cost per hop
 lower-bounds streaming space: CC ≥ (hops) · space means
 space ≥ CC / hops.
 
+Each player's segment is fed to the algorithm as *row batches* straight
+from the partition's cached adjacency rows
+(:meth:`~repro.graphs.partition.EdgePartition.adjacency_rows`): one
+``process_row`` call per base vertex instead of one ``process`` call per
+edge, which is the mask-kernel fast path for algorithms that implement
+the row form natively (both triangle finders do).  The batched stream is
+the per-edge stream in ascending canonical order, so transcripts and
+outputs are identical to the per-edge feed, which survives behind
+``row_batched=False`` as the reference path.
+
 **One-way lower bound → streaming lower bound.**  Contrapositive of the
 above — the paper's Ω(n^{1/4}) one-way bound for triangle-edge detection on
 µ becomes an Ω(n^{1/4}) space bound for single-pass streaming on the same
@@ -19,9 +29,9 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.comm.oneway import OneWayRun, run_oneway_chain
-from repro.comm.players import Player
+from repro.comm.players import Player, make_players
 from repro.graphs.partition import EdgePartition
-from repro.streaming.stream import StreamingAlgorithm
+from repro.streaming.stream import StreamingAlgorithm, canonical_row_batches
 
 __all__ = [
     "streaming_to_oneway",
@@ -33,26 +43,36 @@ __all__ = [
 def streaming_to_oneway(
     partition: EdgePartition,
     algorithm_factory: Callable[[], StreamingAlgorithm],
+    *,
+    row_batched: bool = True,
 ) -> OneWayRun:
     """Run a streaming algorithm as a one-way chain protocol.
 
-    Player j streams its own edges (sorted, as a canonical order) through
-    the algorithm, starting from the forwarded state; the serialized state
-    is the message.  The final player's result is the output.
+    Player j streams its own edges (ascending canonical order) through
+    the algorithm, starting from the forwarded state; the serialized
+    state is the message.  The final player's result is the output.
+    ``row_batched=False`` feeds the identical stream through per-edge
+    ``process`` calls — the pre-mask reference path, kept for
+    differential tests and benchmarks.
     """
-
-    from repro.comm.players import make_players
-
     players = make_players(partition)
     if len(players) < 2:
         raise ValueError("the chain reduction needs at least two players")
 
-    def step(player: Player, state, _shared):
+    def resume_and_stream(player: Player, state) -> StreamingAlgorithm:
         algorithm = algorithm_factory()
         if state is not None:
             algorithm.import_state(state["state"])
-        for edge in player.sorted_edges():
-            algorithm.process(edge)
+        if row_batched:
+            for v, partners in canonical_row_batches(player.adjacency_rows()):
+                algorithm.process_row(v, partners)
+        else:
+            for edge in player.sorted_edges():
+                algorithm.process(edge)
+        return algorithm
+
+    def step(player: Player, state, _shared):
+        algorithm = resume_and_stream(player, state)
         return {
             "state": algorithm.export_state(),
             "bits": algorithm.state_bits(),
@@ -62,12 +82,7 @@ def streaming_to_oneway(
         return max(1, state["bits"])
 
     def finalize(player: Player, state, _shared):
-        algorithm = algorithm_factory()
-        if state is not None:
-            algorithm.import_state(state["state"])
-        for edge in player.sorted_edges():
-            algorithm.process(edge)
-        return algorithm.result()
+        return resume_and_stream(player, state).result()
 
     return run_oneway_chain(
         players,
@@ -94,4 +109,9 @@ def space_lower_bound_from_oneway(oneway_bits_lower_bound: float,
     """
     if hops < 1:
         raise ValueError(f"hops must be positive, got {hops}")
+    if oneway_bits_lower_bound < 0:
+        raise ValueError(
+            "a communication lower bound cannot be negative, got "
+            f"{oneway_bits_lower_bound}"
+        )
     return oneway_bits_lower_bound / hops

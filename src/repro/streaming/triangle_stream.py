@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 
 from repro.comm.encoding import edge_bits
-from repro.graphs.graph import Edge, canonical_edge
+from repro.graphs.graph import Edge, canonical_edge, iter_bits
 from repro.streaming.stream import StreamingAlgorithm
 
 __all__ = ["ReservoirTriangleFinder", "CountingExactFinder"]
@@ -68,6 +68,46 @@ class ReservoirTriangleFinder(StreamingAlgorithm):
                 self._index(edge)
                 return
         return
+
+    def process_row(self, v: int, partners_mask: int) -> None:
+        """Row-native form: canonical batches skip per-edge normalization.
+
+        Reservoir sampling is inherently per-edge (one RNG draw per
+        element keeps the sample uniform), so the batch is unrolled
+        in-place — but the caller's canonical-order guarantee removes
+        the ``canonical_edge`` normalization and dispatch per edge, and
+        the closure probe reads the adjacency dict once per partner.
+        The RNG draw sequence is identical to the per-edge stream.
+        """
+        adjacency = self._adjacency
+        rng = self._rng
+        reservoir = self._reservoir
+        size = self.reservoir_size
+        row_v = adjacency.get(v, 0)
+        remaining = partners_mask
+        while remaining:
+            lowbit = remaining & -remaining
+            remaining ^= lowbit
+            u = lowbit.bit_length() - 1
+            edge = (v, u)
+            self._seen += 1
+            if self._found is None:
+                common = row_v & adjacency.get(u, 0)
+                if common:
+                    low = common & -common
+                    a, b, c = sorted((v, u, low.bit_length() - 1))
+                    self._found = (a, b, c)
+            if len(reservoir) < size:
+                self._insert(edge)
+                row_v = adjacency.get(v, 0)
+            else:
+                slot = rng.randrange(self._seen)
+                if slot < size:
+                    self._evict(reservoir[slot])
+                    reservoir[slot] = edge
+                    self._index(edge)
+                    # The eviction may have touched v's row.
+                    row_v = adjacency.get(v, 0)
 
     def _check_closure(self, edge: Edge) -> None:
         """Does ``edge`` close a vee whose two arms are in the reservoir?"""
@@ -126,38 +166,117 @@ class CountingExactFinder(StreamingAlgorithm):
 
     def __init__(self, n: int) -> None:
         self.n = n
-        self._edges: set[Edge] = set()
+        self._num_edges = 0
         self._adjacency: dict[int, int] = {}
         self._found: tuple[int, int, int] | None = None
 
     def process(self, edge: Edge) -> None:
-        edge = canonical_edge(*edge)
-        u, v = edge
+        u, v = canonical_edge(*edge)
+        adjacency = self._adjacency
+        row_u = adjacency.get(u, 0)
         if self._found is None:
-            common = self._adjacency.get(u, 0) & self._adjacency.get(v, 0)
+            common = row_u & adjacency.get(v, 0)
             if common:
                 low = common & -common
                 a, b, c = sorted((u, v, low.bit_length() - 1))
                 self._found = (a, b, c)
-        self._edges.add(edge)
-        self._adjacency[u] = self._adjacency.get(u, 0) | (1 << v)
-        self._adjacency[v] = self._adjacency.get(v, 0) | (1 << u)
+        if not row_u >> v & 1:
+            self._num_edges += 1
+            adjacency[u] = row_u | (1 << v)
+            adjacency[v] = adjacency.get(v, 0) | (1 << u)
+
+    def process_row(self, v: int, partners_mask: int) -> None:
+        """Row-native form: one closure probe per partner, bulk insert.
+
+        Per-edge semantics feed each edge ``(v, u_i)`` a closure check
+        against the adjacency *after* the batch's earlier inserts; since
+        those inserts only grow ``v``'s own row (by ``u_1 .. u_{i-1}``)
+        and set bit ``v`` in rows the checks never read, an accumulator
+        mask replays them exactly — and the whole batch then lands as
+        one word-wide row update instead of 2·|batch| dict writes.
+
+        Once a triangle is found the mirror bits (bit ``v`` of each
+        partner's row) are dead state: closure probes are the only
+        reader of a row's below-diagonal bits, dedup tests and
+        ``export_state`` read lower-endpoint rows only, and ``_found``
+        is monotone.  The post-find fast path therefore commits a whole
+        batch as a single row update — the regime a far-instance stream
+        spends almost the entire pass in.
+        """
+        adjacency = self._adjacency
+        row_v = adjacency.get(v, 0)
+        if self._found is None:
+            acc = row_v
+            remaining = partners_mask
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                u = low.bit_length() - 1
+                common = acc & adjacency.get(u, 0)
+                if common:
+                    apex = common & -common
+                    a, b, c = sorted((v, u, apex.bit_length() - 1))
+                    self._found = (a, b, c)
+                    break
+                acc |= low
+        new = partners_mask & ~row_v
+        if new:
+            self._num_edges += new.bit_count()
+            adjacency[v] = row_v | new
+            if self._found is None:
+                bit_v = 1 << v
+                for u in iter_bits(new):
+                    adjacency[u] = adjacency.get(u, 0) | bit_v
 
     def state_bits(self) -> int:
-        return max(1, len(self._edges) * edge_bits(self.n))
+        return max(1, self._num_edges * edge_bits(self.n))
 
     def result(self) -> tuple[int, int, int] | None:
         return self._found
 
     def export_state(self) -> dict:
-        return {"edges": sorted(self._edges), "found": self._found}
+        """Serialize as upper-bit rows keyed by lower endpoint, sorted.
+
+        One mask per inhabited vertex instead of one tuple per edge:
+        the edge set an O(m)-space algorithm forwards across a hop is
+        exactly its canonical lower-endpoint rows, so serialization is
+        two word-wide ops per vertex.  Both feed paths (edge and row)
+        export identical states — mirror bits are masked out here, so
+        the post-find mirror-skipping fast path is invisible.
+        """
+        rows = {}
+        for u in sorted(self._adjacency):
+            upper = (self._adjacency[u] >> (u + 1)) << (u + 1)
+            if upper:
+                rows[u] = upper
+        return {"rows": rows, "found": self._found}
 
     def import_state(self, state: dict) -> None:
-        self._edges = set()
-        self._adjacency = {}
         self._found = state["found"]
-        for edge in state["edges"]:
-            self._edges.add(edge)
-            u, v = edge
-            self._adjacency[u] = self._adjacency.get(u, 0) | (1 << v)
-            self._adjacency[v] = self._adjacency.get(v, 0) | (1 << u)
+        adjacency: dict[int, int] = {}
+        num_edges = 0
+        if "rows" in state:
+            items = state["rows"].items()
+        else:  # per-edge form (hand-built states in older callers)
+            legacy: dict[int, int] = {}
+            for u, v in state["edges"]:
+                if v < u:
+                    u, v = v, u
+                legacy[u] = legacy.get(u, 0) | (1 << v)
+            items = legacy.items()
+        for u, row in items:
+            adjacency[u] = adjacency.get(u, 0) | row
+            num_edges += row.bit_count()
+        if self._found is None:
+            # Mirror bits feed the closure probes; once a triangle is
+            # found they are dead state and the rebuild is skipped.
+            for u, row in list(adjacency.items()):
+                bit_u = 1 << u
+                rest = (row >> (u + 1)) << (u + 1)
+                while rest:
+                    low = rest & -rest
+                    rest ^= low
+                    v = low.bit_length() - 1
+                    adjacency[v] = adjacency.get(v, 0) | bit_u
+        self._adjacency = adjacency
+        self._num_edges = num_edges

@@ -101,6 +101,20 @@ class TestReductionGraph:
         _, _, bob = reduction_graph(instance)
         assert len(bob) == 10  # two per matching edge
 
+    def test_rows_native_build_matches_per_edge_rebuild(self):
+        """The PR 4 mask-native assembly equals an edge-at-a-time build."""
+        for seed, promise in ((4, "zeros"), (5, "ones"), (6, "zeros")):
+            instance = sample_bm_instance(6, promise, seed=seed)
+            graph, alice, bob = reduction_graph(instance)
+            from repro.graphs.graph import Graph
+
+            rebuilt = Graph(graph.n, sorted(alice) + sorted(bob))
+            assert rebuilt == graph
+            assert alice | bob == graph.edge_set()
+            assert not alice & bob
+            # Canonical orientation throughout.
+            assert all(u < v for u, v in alice | bob)
+
     def test_zeros_gives_n_disjoint_triangles(self):
         for seed in range(4):
             instance = sample_bm_instance(7, "zeros", seed=seed)

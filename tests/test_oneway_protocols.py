@@ -8,6 +8,10 @@ from repro.lowerbounds.oneway_protocols import (
     budget_success_curve,
     oneway_triangle_edge_protocol,
 )
+from repro.lowerbounds.reference import (
+    oneway_triangle_edge_protocol_reference,
+)
+from repro.runtime import ParallelExecutor, SerialExecutor
 
 MU = MuDistribution(part_size=30, gamma=1.3)
 
@@ -58,6 +62,54 @@ class TestProtocol:
         second = oneway_triangle_edge_protocol(sample, 32, seed=12)
         assert first.output == second.output
         assert first.total_bits == second.total_bits
+
+
+class TestMaskReferenceDifferential:
+    """The rows rewrite is pinned to the per-edge set predecessor."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_runs_byte_identical(self, seed):
+        sample = MU.sample_far(seed=20 + seed)
+        for budget in (0, 1, 3, 16, 64, 512):
+            mask = oneway_triangle_edge_protocol(sample, budget, seed=seed)
+            ref = oneway_triangle_edge_protocol_reference(
+                sample, budget, seed=seed
+            )
+            assert mask.output == ref.output
+            assert mask.total_bits == ref.total_bits
+            # Transcripts byte-identical: same payloads in the same
+            # canonical order, same per-message charges.
+            assert mask.transcript.messages == ref.transcript.messages
+
+    def test_shuffled_draw_sequence_preserved(self):
+        """Both implementations consume the same public coins."""
+        sample = MU.sample_far(seed=31)
+        mask = oneway_triangle_edge_protocol(sample, 8, seed=5)
+        ref = oneway_triangle_edge_protocol_reference(sample, 8, seed=5)
+        # Alice's sample is a shuffle prefix: identical draw => identical
+        # prefix, not merely an equal-as-set message.
+        assert mask.transcript.payloads()[0] == ref.transcript.payloads()[0]
+
+
+class TestCurveParallel:
+    def test_serial_and_parallel_curves_byte_identical(self):
+        budgets = [2, 16, 64]
+        serial = budget_success_curve(
+            MU, budgets, trials=6, seed=3, executor=SerialExecutor()
+        )
+        parallel = budget_success_curve(
+            MU, budgets, trials=6, seed=3,
+            executor=ParallelExecutor(workers=4),
+        )
+        assert serial == parallel
+
+    def test_workers_arg_matches_default(self):
+        budgets = [4, 32]
+        default = budget_success_curve(MU, budgets, trials=4, seed=7)
+        explicit = budget_success_curve(
+            MU, budgets, trials=4, seed=7, workers=2
+        )
+        assert default == explicit
 
 
 class TestCurve:

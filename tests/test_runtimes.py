@@ -225,3 +225,130 @@ class TestBlackboard:
     def test_empty_players_rejected(self):
         with pytest.raises(ValueError):
             BlackboardRuntime([])
+
+    def test_board_rows_track_posted_edges(self):
+        rt = BlackboardRuntime(three_players(), SharedRandomness(1))
+        rt.post_edges_in_turns(
+            harvest=lambda p: sorted(p.edges), per_edge_bits=4
+        )
+        assert rt.board_rows[0] >> 1 & 1  # (0, 1) posted
+        assert rt.board_rows[1] >> 0 & 1  # symmetric bit
+        assert not rt.board_rows[7]
+
+    def test_rows_form_matches_edge_form(self):
+        """post_rows_in_turns == post_edges_in_turns on sorted harvests."""
+        graph = gnd(40, 5.0, seed=8)
+        from repro.graphs.partition import partition_with_duplication
+
+        partition = partition_with_duplication(graph, 4, seed=9)
+        for cap in (None, 0, 7, 10 ** 6):
+            edge_rt = BlackboardRuntime(
+                make_players(partition), SharedRandomness(2)
+            )
+            posted_edges = edge_rt.post_edges_in_turns(
+                harvest=lambda p: p.sorted_edges(),
+                per_edge_bits=edge_bits(40), cap=cap,
+            )
+            rows_rt = BlackboardRuntime(
+                make_players(partition), SharedRandomness(2)
+            )
+            posted_rows = rows_rt.post_rows_in_turns(
+                harvest_rows=lambda p: p.adjacency_rows(),
+                per_edge_bits=edge_bits(40), cap=cap,
+            )
+            assert set(posted_rows) == posted_edges
+            assert rows_rt.board == edge_rt.board  # same payload order
+            assert rows_rt.board_rows == edge_rt.board_rows
+            assert rows_rt.ledger.summary() == edge_rt.ledger.summary()
+
+    def test_rows_and_edge_forms_match_set_reference(self):
+        """Both forms are pinned to the pre-rows set-dedup loop."""
+        from repro.comm.reference import post_edges_in_turns_reference
+        from repro.graphs.partition import partition_with_duplication
+
+        graph = gnd(35, 4.0, seed=10)
+        partition = partition_with_duplication(graph, 3, seed=11)
+        for cap in (None, 5, 11):
+            ref_rt = BlackboardRuntime(
+                make_players(partition), SharedRandomness(3)
+            )
+            ref_posted = post_edges_in_turns_reference(
+                ref_rt, lambda p: p.sorted_edges(),
+                per_edge_bits=edge_bits(35), cap=cap,
+            )
+            new_rt = BlackboardRuntime(
+                make_players(partition), SharedRandomness(3)
+            )
+            new_posted = new_rt.post_edges_in_turns(
+                harvest=lambda p: p.sorted_edges(),
+                per_edge_bits=edge_bits(35), cap=cap,
+            )
+            assert new_posted == ref_posted
+            assert new_rt.board == ref_rt.board
+            assert new_rt.ledger.summary() == ref_rt.ledger.summary()
+
+
+class TestBlackboardCapHandling:
+    """Edge cases of the global posted-edge cap (PR 4 satellite)."""
+
+    def _partition(self):
+        graph = gnd(30, 4.0, seed=1)
+        from repro.graphs.partition import partition_all_to_all
+
+        return partition_all_to_all(graph, 3), graph
+
+    def test_cap_zero_posts_nothing_and_charges_nothing(self):
+        partition, _ = self._partition()
+        rt = BlackboardRuntime(make_players(partition), SharedRandomness(2))
+        posted = rt.post_edges_in_turns(
+            harvest=lambda p: p.sorted_edges(),
+            per_edge_bits=edge_bits(30), cap=0,
+        )
+        assert posted == set()
+        assert rt.ledger.total_bits == 0
+        assert rt.ledger.rounds == 0
+        assert rt.board == []
+
+    def test_cap_hit_on_player_boundary_stops_all_charges(self):
+        """Players after the cap-filling one are not charged a round."""
+        partition, _ = self._partition()
+        first_view = sorted(make_players(partition)[0].edges)
+        cap = len(first_view)  # player 0 fills the cap exactly
+        rt = BlackboardRuntime(make_players(partition), SharedRandomness(2))
+        posted = rt.post_edges_in_turns(
+            harvest=lambda p: p.sorted_edges(),
+            per_edge_bits=edge_bits(30), cap=cap,
+        )
+        assert len(posted) == cap
+        assert rt.ledger.rounds == 1  # only player 0's post
+        assert [pid for pid, _ in rt.board] == [0]
+
+    def test_duplicate_heavy_harvest_charges_distinct_edges_only(self):
+        """In-harvest duplicates are neither charged nor cap-counted."""
+        players = three_players()
+        rt = BlackboardRuntime(players, SharedRandomness(2))
+        noisy = lambda p: [  # noqa: E731 - tiny stub harvest
+            (0, 1), (0, 1), (1, 2), (0, 1), (1, 2)
+        ]
+        posted = rt.post_edges_in_turns(
+            harvest=noisy, per_edge_bits=8, cap=2,
+        )
+        assert posted == {(0, 1), (1, 2)}
+        # One round (player 0 posts both distinct edges), 2 * 8 bits —
+        # the historical loop would have truncated at the duplicate and
+        # charged it.
+        assert rt.ledger.rounds == 1
+        assert rt.ledger.total_bits == 16
+
+    def test_zero_fresh_players_are_never_charged(self):
+        partition, graph = self._partition()
+        rt = BlackboardRuntime(make_players(partition), SharedRandomness(2))
+        rt.post_edges_in_turns(
+            harvest=lambda p: p.sorted_edges(),
+            per_edge_bits=edge_bits(30),
+        )
+        # All-to-all duplication: players 1 and 2 have nothing fresh.
+        assert rt.ledger.rounds == 1
+        assert rt.ledger.player_bits(1) == 0
+        assert rt.ledger.player_bits(2) == 0
+        assert rt.ledger.total_bits == graph.num_edges * edge_bits(30)
