@@ -20,7 +20,10 @@ from repro.core.unrestricted import find_triangle_unrestricted
 from repro.graphs.buckets import bucket_index, min_full_bucket
 from repro.graphs.generators import disjoint_cliques
 from repro.graphs.partition import partition_disjoint
-from repro.graphs.triangles import greedy_triangle_packing
+from repro.graphs.triangles import (
+    clique_packing_density_floor,
+    greedy_triangle_packing,
+)
 
 STAR_LABELS = ("SampleEdges", "post-star")
 
@@ -50,7 +53,12 @@ def test_found_path_scales_with_sqrt_bmin(benchmark, print_row):
                 measured = (
                     len(greedy_triangle_packing(graph)) / graph.num_edges
                 )
-                assert measured >= 0.25, measured
+                # The certified floor is a function of the instance
+                # (Turán residue of K_{D+1}), not a universal constant:
+                # a hard-coded 0.25 was above K₉'s true guarantee and
+                # tripped on the greedy packing's 0.222 there.
+                floor = float(clique_packing_density_floor(degree + 1))
+                assert measured >= floor, (measured, floor)
                 assert min_full_bucket(graph, measured) == (
                     bucket_index(degree)
                 )

@@ -22,7 +22,8 @@ on the smallest qualifying size.
 from __future__ import annotations
 
 import sys
-import time
+
+from timing_helpers import best_of
 
 from repro.graphs.generators import planted_disjoint_triangles
 from repro.graphs.graph import Graph
@@ -57,17 +58,6 @@ def build_instance(n: int, d: float, seed: int = 1) -> tuple[Graph, SetGraph]:
     reference = SetGraph(n, bitset.edges())
     assert bitset.num_edges == reference.num_edges
     return bitset, reference
-
-
-def best_of(repeats: int, fn, *args) -> tuple[float, object]:
-    """(best wall-time, result) over ``repeats`` runs."""
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn(*args)
-        best = min(best, time.perf_counter() - start)
-    return best, result
 
 
 def run_grid(grid, repeats: int = 7) -> list[dict]:

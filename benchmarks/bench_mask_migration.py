@@ -39,9 +39,10 @@ from __future__ import annotations
 import json
 import platform
 import sys
-import time
 import warnings
 from pathlib import Path
+
+from timing_helpers import best_of
 
 from repro.analysis.table1 import far_disjoint_instance
 from repro.comm.blackboard import BlackboardRuntime
@@ -75,17 +76,6 @@ D = 8.0
 #: as one mask scan per player and the set reference does per edge.
 K_BLACKBOARD = 6
 ONEWAY_BUDGET = 256
-
-
-def best_of(repeats: int, fn) -> tuple[float, object]:
-    """(best wall-time, result) over ``repeats`` runs."""
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
 
 
 def _chain_trial(n: int, repeats: int) -> dict:

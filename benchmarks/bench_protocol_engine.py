@@ -31,8 +31,9 @@ from __future__ import annotations
 import json
 import platform
 import sys
-import time
 from pathlib import Path
+
+from timing_helpers import best_of
 
 from repro.analysis.table1 import far_disjoint_instance
 from repro.comm.players import make_players
@@ -72,17 +73,6 @@ PROTOCOLS = [
         ),
     ),
 ]
-
-
-def best_of(repeats: int, fn) -> tuple[float, object]:
-    """(best wall-time, result) over ``repeats`` runs."""
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
 
 
 def run_grid(grid, repeats: int = 5) -> list[dict]:

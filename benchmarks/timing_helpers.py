@@ -1,0 +1,26 @@
+"""Shared timing helper for the benchmark drivers.
+
+One definition of the best-of-N wall-clock measurement every
+``bench_*`` driver uses, so methodology changes (warmup, median, ...)
+land in one place.  Imported as a sibling module — both entry points
+resolve it: ``python benchmarks/bench_X.py`` puts ``benchmarks/`` on
+``sys.path[0]``, and pytest inserts the rootdir-relative test directory
+(the same mechanism ``tests/`` uses for its ``*_helpers`` modules).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["best_of"]
+
+
+def best_of(repeats: int, fn, *args) -> tuple[float, object]:
+    """(best wall-time, result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result

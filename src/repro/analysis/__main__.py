@@ -23,6 +23,7 @@ ROWS_BY_ID = {
     "T1-R2B": table1.row_sim_high_upper,
     "T1-R2C": table1.row_oblivious,
     "X-1": table1.row_exact_baseline,
+    "X-2": table1.row_subgraph_patterns,
     "T1-R3": table1.row_oneway_streaming_lower,
     "T1-R4": table1.row_sim_covered_lower,
     "T1-R5": table1.row_symmetrization,

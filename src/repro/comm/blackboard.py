@@ -55,8 +55,14 @@ class BlackboardRuntime:
 
     @property
     def board_rows(self) -> list[int]:
-        """Symmetric per-vertex masks of every edge posted so far.
+        """Symmetric per-vertex masks of the edges the *_in_turns*
+        deduplicating posters put on the board.
 
+        Only :meth:`post_edges_in_turns` / :meth:`post_rows_in_turns`
+        feed these masks; a raw :meth:`post` carries an opaque payload
+        the runtime does not interpret as edges, so it never reaches
+        them (mixing the two posting styles on one runtime would make a
+        later *_in_turns* call re-post the raw-posted edges).
         Materialized on demand from the canonical upper-triangular board
         (one mirror pass over the posted edges, cached until the next
         post) — treat as READ-ONLY.

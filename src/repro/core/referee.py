@@ -18,11 +18,19 @@ the differential tests, which prove both referees accept/reject
 identically on hypothesis-generated message batches (they must: a
 triangle exists in the union or it does not, regardless of which one a
 referee reports first).
+
+The H-freeness generalization gets the same pair:
+:func:`rows_union_subgraph_referee` folds messages into rows and runs
+the mask-native monomorphism engine
+(:func:`repro.patterns.matcher.find_copy_in_rows`), and
+:func:`set_union_subgraph_referee` preserves the historical
+``set[Edge]`` union + networkx VF2 search (reference-only; needs the
+optional ``reference`` extra).
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.graphs.graph import Edge
 from repro.graphs.triangles import (
@@ -30,11 +38,15 @@ from repro.graphs.triangles import (
     find_triangle_among,
     find_triangle_in_rows,
 )
+from repro.patterns.catalog import SubgraphPattern
+from repro.patterns.matcher import find_copy_in_rows
 
 __all__ = [
     "union_rows",
     "rows_union_triangle_referee",
     "set_union_triangle_referee",
+    "rows_union_subgraph_referee",
+    "set_union_subgraph_referee",
 ]
 
 
@@ -66,3 +78,32 @@ def set_union_triangle_referee(messages: Iterable[Iterable[Edge]]
     for message in messages:
         union.update(message)
     return find_triangle_among(union)
+
+
+def rows_union_subgraph_referee(
+    messages: Iterable[Iterable[Edge]], n: int, pattern: SubgraphPattern,
+    matcher: Callable = find_copy_in_rows,
+) -> tuple[int, ...] | None:
+    """The mask-native H referee: union as rows, canonical-first copy.
+
+    ``matcher`` is the seam reference runs swap for
+    :func:`repro.patterns.reference.find_copy_in_rows_reference`.
+    """
+    return matcher(union_rows(messages, n), pattern)
+
+
+def set_union_subgraph_referee(messages: Iterable[Iterable[Edge]],
+                               pattern: SubgraphPattern
+                               ) -> tuple[int, ...] | None:
+    """The historical H referee: ``set[Edge]`` union + networkx VF2.
+
+    Reference-only (the last set-based union in production code, now
+    retired to this seam); the copy it reports is VF2's own, so
+    differential tests compare found/not-found and validate copies.
+    """
+    from repro.patterns.reference import find_copy_among_reference
+
+    union: set[Edge] = set()
+    for message in messages:
+        union.update(message)
+    return find_copy_among_reference(union, pattern)

@@ -18,20 +18,45 @@ This is an *extension*, not a paper result: no optimality is claimed, and
 the variance analysis that Theorem 3.26 does for triangles is replaced by
 repetition (the ``rounds`` parameter runs independent samples and ORs the
 one-sided outcomes).
+
+The pattern machinery lives in :mod:`repro.patterns` — the connected
+pattern catalog, the mask-native monomorphism engine, and the planted
+scenario generators are re-exported here for compatibility.  The referee
+is rows-native: per-round messages fold into per-vertex adjacency masks
+(:func:`repro.core.referee.union_rows`) and
+:func:`repro.patterns.matcher.find_copy_in_rows` walks them, so the
+reported copy is canonical-first — a deterministic function of the union
+itself.  The historical ``set[Edge]`` union + networkx VF2 search is
+preserved as :func:`repro.core.referee.set_union_subgraph_referee`
+behind the ``matcher=`` seam (pass
+:func:`repro.patterns.reference.find_copy_in_rows_reference` for a
+VF2-refereed run).
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable
 
 from repro.comm.encoding import edge_bits
 from repro.comm.players import Player, make_players
 from repro.comm.randomness import SharedRandomness
 from repro.comm.simultaneous import run_simultaneous
-from repro.graphs.graph import Edge, Graph
+from repro.core.referee import union_rows
+from repro.graphs.graph import Edge
 from repro.graphs.partition import EdgePartition
+from repro.patterns.catalog import (
+    FIVE_CYCLE,
+    FOUR_CLIQUE,
+    FOUR_CYCLE,
+    TRIANGLE,
+    SubgraphPattern,
+)
+from repro.patterns.matcher import find_copy_among, find_copy_in_rows
+from repro.patterns.plant import (
+    PlantedSubgraphInstance,
+    planted_disjoint_subgraphs,
+)
 
 __all__ = [
     "SubgraphPattern",
@@ -46,68 +71,6 @@ __all__ = [
     "planted_disjoint_subgraphs",
     "PlantedSubgraphInstance",
 ]
-
-
-@dataclass(frozen=True)
-class SubgraphPattern:
-    """A small pattern graph H on vertices 0 .. h-1."""
-
-    name: str
-    num_vertices: int
-    edges: tuple[Edge, ...]
-
-    def __post_init__(self) -> None:
-        for u, v in self.edges:
-            if u == v or not (0 <= u < self.num_vertices
-                              and 0 <= v < self.num_vertices):
-                raise ValueError(
-                    f"invalid pattern edge ({u}, {v}) for h={self.num_vertices}"
-                )
-        if self.num_vertices < 2 or not self.edges:
-            raise ValueError("pattern must have >= 2 vertices and an edge")
-
-    @property
-    def num_edges(self) -> int:
-        return len(self.edges)
-
-    def to_networkx(self):
-        import networkx as nx
-
-        pattern = nx.Graph()
-        pattern.add_nodes_from(range(self.num_vertices))
-        pattern.add_edges_from(self.edges)
-        return pattern
-
-
-TRIANGLE = SubgraphPattern("K3", 3, ((0, 1), (0, 2), (1, 2)))
-FOUR_CLIQUE = SubgraphPattern(
-    "K4", 4, ((0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3))
-)
-FOUR_CYCLE = SubgraphPattern("C4", 4, ((0, 1), (1, 2), (2, 3), (0, 3)))
-FIVE_CYCLE = SubgraphPattern(
-    "C5", 5, ((0, 1), (1, 2), (2, 3), (3, 4), (0, 4))
-)
-
-
-def find_copy_among(edges: Iterable[Edge], pattern: SubgraphPattern
-                    ) -> tuple[int, ...] | None:
-    """A monomorphic copy of H in a plain edge bag, or None.
-
-    Returns the image vertices in pattern-vertex order.  Uses networkx's
-    VF2 matcher; fine for the small samples referees actually see.
-    """
-    import networkx as nx
-    from networkx.algorithms import isomorphism
-
-    host = nx.Graph()
-    host.add_edges_from(edges)
-    if host.number_of_edges() < pattern.num_edges:
-        return None
-    matcher = isomorphism.GraphMatcher(host, pattern.to_networkx())
-    for mapping in matcher.subgraph_monomorphisms_iter():
-        inverse = {pattern_v: host_v for host_v, pattern_v in mapping.items()}
-        return tuple(inverse[i] for i in range(pattern.num_vertices))
-    return None
 
 
 @dataclass(frozen=True)
@@ -162,11 +125,16 @@ def find_subgraph_simultaneous(
     seed: int = 0,
     *,
     player_factory=make_players,
+    matcher: Callable = find_copy_in_rows,
 ) -> SubgraphDetectionResult:
     """One-shot simultaneous H-detection with one-sided error.
 
     ``player_factory`` swaps the player backend (mask-native by default;
     :func:`repro.comm.reference.make_set_players` for differential runs).
+    ``matcher`` swaps the referee's H-copy search (the rows-native
+    canonical-first engine by default;
+    :func:`repro.patterns.reference.find_copy_in_rows_reference` runs
+    the preserved networkx VF2 matcher on the same rows union).
     """
     params = params or SubgraphParams()
     players = player_factory(partition)
@@ -196,10 +164,10 @@ def find_subgraph_simultaneous(
     def referee_fn(messages: list[list[list[Edge]]],
                    _: SharedRandomness):
         for round_index in range(params.rounds):
-            union: set[Edge] = set()
-            for message in messages:
-                union.update(message[round_index])
-            copy = find_copy_among(union, pattern)
+            rows = union_rows(
+                (message[round_index] for message in messages), n
+            )
+            copy = matcher(rows, pattern)
             if copy is not None:
                 return copy, round_index
         return None, None
@@ -228,54 +196,4 @@ def find_subgraph_simultaneous(
             "rounds": params.rounds,
             "winning_round": winning_round,
         },
-    )
-
-
-@dataclass(frozen=True)
-class PlantedSubgraphInstance:
-    """An instance far from H-freeness by construction."""
-
-    graph: Graph
-    pattern: SubgraphPattern
-    planted_copies: tuple[tuple[int, ...], ...]
-    epsilon_certified: float
-
-
-def planted_disjoint_subgraphs(n: int, pattern: SubgraphPattern,
-                               copies: int, seed: int = 0,
-                               background_degree: float = 0.0
-                               ) -> PlantedSubgraphInstance:
-    """Plant vertex-disjoint copies of H (plus optional background).
-
-    Vertex-disjoint copies are edge-disjoint, so destroying all of them
-    requires >= ``copies`` edge removals: the instance is certifiably
-    ``copies / |E|``-far from H-freeness.
-    """
-    h = pattern.num_vertices
-    if copies * h > n:
-        raise ValueError(
-            f"cannot plant {copies} disjoint {pattern.name} copies on "
-            f"{n} vertices"
-        )
-    rng = random.Random(seed)
-    vertices = list(range(n))
-    rng.shuffle(vertices)
-    from repro.graphs.generators import gnd
-
-    graph = (
-        gnd(n, background_degree, seed=seed + 1)
-        if background_degree > 0
-        else Graph(n)
-    )
-    planted: list[tuple[int, ...]] = []
-    for index in range(copies):
-        image = tuple(vertices[index * h: (index + 1) * h])
-        for u, v in pattern.edges:
-            graph.add_edge(image[u], image[v])
-        planted.append(image)
-    return PlantedSubgraphInstance(
-        graph=graph,
-        pattern=pattern,
-        planted_copies=tuple(planted),
-        epsilon_certified=copies / max(1, graph.num_edges),
     )

@@ -135,7 +135,14 @@ def disjoint_vee_count(graph: Graph, source: int, exact: bool = True) -> int:
             used.add(w)
             count += 1
         return count
-    import networkx as nx
+    try:
+        import networkx as nx
+    except ImportError as exc:
+        raise ImportError(
+            "disjoint_vee_count(exact=True) needs networkx (the optional "
+            "`reference` extra: pip install -e '.[reference]'); pass "
+            "exact=False for the dependency-free greedy lower bound"
+        ) from exc
 
     nx_graph = nx.Graph(closing)
     matching = nx.max_weight_matching(nx_graph, maxcardinality=True)

@@ -131,3 +131,13 @@ class TestTable1FastRows:
         text = report.formatted()
         assert "T1-R6" in text
         assert "measured=" in text
+
+    def test_subgraph_patterns_row(self):
+        from repro.analysis.table1 import row_subgraph_patterns
+
+        report = row_subgraph_patterns(quick=True, seed=0)
+        assert report.row_id == "X-2"
+        assert report.measured >= 0.8
+        # Per-pattern detection rates are itemized in the note.
+        for name in ("K4", "C4", "C5", "P4", "K1,3"):
+            assert name in report.note

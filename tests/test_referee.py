@@ -14,8 +14,12 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import pytest
+
 from repro.core.referee import (
+    rows_union_subgraph_referee,
     rows_union_triangle_referee,
+    set_union_subgraph_referee,
     set_union_triangle_referee,
     union_rows,
 )
@@ -26,6 +30,9 @@ from repro.graphs.triangles import (
     find_triangle_in_rows,
     iter_triangles,
 )
+from repro.patterns.catalog import FOUR_CLIQUE, FOUR_CYCLE, TRIANGLE, star
+from repro.patterns.matcher import is_copy_in_rows
+from repro.patterns.reference import networkx_available
 
 N = 20
 
@@ -86,3 +93,36 @@ class TestFindTriangleInRows:
     def test_single_triangle(self):
         graph = Graph(5, [(1, 3), (1, 4), (3, 4)])
         assert find_triangle_in_rows(graph.adjacency_rows()) == (1, 3, 4)
+
+
+class TestSubgraphRefereeDifferential:
+    """The H generalization of the accept/reject contract: the rows
+    referee (mask matcher) and the historical set[Edge]+VF2 referee must
+    agree on found for every pattern and message batch."""
+
+    @pytest.mark.skipif(not networkx_available(),
+                        reason="optional reference dep networkx missing")
+    @given(MESSAGES, st.sampled_from(
+        [TRIANGLE, FOUR_CLIQUE, FOUR_CYCLE, star(3)]
+    ))
+    @settings(max_examples=150, deadline=None)
+    def test_accept_reject_identical(self, messages, pattern):
+        rows_copy = rows_union_subgraph_referee(messages, N, pattern)
+        set_copy = set_union_subgraph_referee(messages, pattern)
+        assert (rows_copy is None) == (set_copy is None)
+        if rows_copy is not None:
+            rows = union_rows(messages, N)
+            assert is_copy_in_rows(rows, pattern, rows_copy)
+            assert is_copy_in_rows(rows, pattern, set_copy)
+
+    @given(MESSAGES)
+    @settings(max_examples=100, deadline=None)
+    def test_k3_referee_matches_triangle_referee(self, messages):
+        """On H = K3 both rows referees report the *same* triangle: the
+        matcher's canonical-first K3 image, sorted, is the triangle
+        scan's ascending-first triple."""
+        copy = rows_union_subgraph_referee(messages, N, TRIANGLE)
+        triangle = rows_union_triangle_referee(messages, N)
+        assert (copy is None) == (triangle is None)
+        if copy is not None:
+            assert tuple(sorted(copy)) == triangle

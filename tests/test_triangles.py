@@ -4,6 +4,7 @@ import pytest
 
 from repro.graphs.graph import Graph
 from repro.graphs.triangles import (
+    clique_packing_density_floor,
     close_vee,
     contains_triangle_among,
     count_triangles,
@@ -217,3 +218,43 @@ class TestFarness:
         lower = packing_distance_lower_bound(graph)
         _, upper = make_triangle_free_by_removal(graph)
         assert lower <= upper
+
+
+class TestCliquePackingDensityFloor:
+    """Regression for the bench_found_path_cost satellite: the maximal-
+    packing density guarantee on disjoint K_m is (m-2)/(6(m-1)), derived
+    from the Turán bound on the triangle-free residue — NOT a universal
+    0.25, which the greedy packing genuinely undershoots at K9."""
+
+    def test_boundary_k9_below_old_constant(self):
+        # The exact instance bench_found_path_cost checks at D=8: six
+        # disjoint K9 on 16000 vertices.  Greedy measures 48/216 = 2/9,
+        # under the old hard-coded 0.25 but above the derived floor.
+        from repro.graphs.generators import disjoint_cliques
+
+        graph = disjoint_cliques(16000, 9, 6, seed=1)
+        density = len(greedy_triangle_packing(graph)) / graph.num_edges
+        floor = clique_packing_density_floor(9)
+        assert density < 0.25          # the old constant really was wrong
+        assert density >= float(floor)
+        assert floor == pytest.approx(7 / 48)
+
+    @pytest.mark.parametrize("m", [3, 4, 5, 6, 9, 12, 27])
+    def test_floor_holds_on_single_clique(self, m):
+        clique = Graph(m, [(u, v) for u in range(m)
+                           for v in range(u + 1, m)])
+        packed = len(greedy_triangle_packing(clique))
+        assert packed / clique.num_edges >= float(
+            clique_packing_density_floor(m)
+        )
+
+    def test_floor_below_maximum_density(self):
+        # The floor never exceeds the 1/3 a perfect packing achieves.
+        from fractions import Fraction
+
+        for m in range(3, 40):
+            assert 0 < clique_packing_density_floor(m) < Fraction(1, 3)
+
+    def test_too_small_clique_rejected(self):
+        with pytest.raises(ValueError):
+            clique_packing_density_floor(2)
