@@ -1,30 +1,57 @@
-"""Bitset graph kernel vs the set-based reference backend.
+"""Graph kernel benchmarks: bitset vs set, and packed vs bignum.
 
-The triangle hot path (``count_triangles``, ``greedy_triangle_packing``)
-is where every protocol, generator, and Table 1 sweep spends its time.
-This driver builds identical instances in both backends on the reference
-grids, checks the outputs match exactly, and measures the speedup of the
-bitset kernel (one adjacency-mask int per vertex, common neighbourhoods
-via a single ``&``) over the original adjacency-``set`` implementation.
+Two generations of kernel rewrites, one driver:
 
-The kernel PR's acceptance bar: >= 3x on ``count_triangles`` and
-``greedy_triangle_packing`` at n >= 2000, with identical outputs.
+* **bitset vs set** (PR 2's bar): the bignum mask kernel against the
+  original adjacency-``set`` implementation on the small reference
+  grids.
+* **packed vs bignum** (the word-packed kernel's bar): the numpy uint64
+  backend against the bignum backend on large grids up to n = 10^5,
+  where the packed kernel's wedge-scan natives (O(1) word-addressable
+  bit probes) replace the edge-AND sweep.  Instances are built once on
+  the bignum backend and converted losslessly via ``to_backend``, so
+  both kernels see bit-identical graphs and outputs are asserted equal.
+
+The packed acceptance bar: >= 3x on ``count_triangles`` and
+``greedy_triangle_packing`` at the largest quick-grid n, identical
+outputs, emitted to ``BENCH_packed_kernel.json`` for the CI artifact.
+
+``--scale-check`` additionally reruns a Table 1 grid point (the T1-R2a
+sim-low configuration) and the row X-2 pattern sweep at n = 10^5 under
+``REPRO_GRAPH_BACKEND=bigint`` and ``=packed`` with fresh instances, and
+asserts the full trial records are byte-identical — the end-to-end
+pinned-seed guarantee at the scale the packed kernel exists for.
 
 Usage::
 
-    python benchmarks/bench_graph_kernel.py            # full grid
-    python benchmarks/bench_graph_kernel.py --quick    # CI smoke grid
+    python benchmarks/bench_graph_kernel.py                # full grids
+    python benchmarks/bench_graph_kernel.py --quick        # CI smoke
+    python benchmarks/bench_graph_kernel.py --scale-check  # + n=1e5 identity
+    python benchmarks/bench_graph_kernel.py --json PATH    # artifact path
 
-Also collected by ``pytest benchmarks/`` as a correctness+speedup test
-on the smallest qualifying size.
+Also collected by ``pytest benchmarks/`` as correctness+speedup tests
+on the smallest qualifying sizes.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import sys
+from pathlib import Path
 
 from timing_helpers import best_of
 
+from repro.analysis.experiments import run_sweep
+from repro.analysis.table1 import (
+    PATTERN_ROW_PATTERNS,
+    PatternProtocol,
+    PlantedPatternBuilder,
+    far_disjoint_instance,
+)
+from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
+from repro.core.subgraph_detection import SubgraphParams
 from repro.graphs.generators import planted_disjoint_triangles
 from repro.graphs.graph import Graph
 from repro.graphs.reference import (
@@ -35,6 +62,7 @@ from repro.graphs.reference import (
 )
 from repro.graphs.triangles import (
     count_triangles,
+    find_triangle,
     greedy_triangle_packing,
     iter_triangles,
 )
@@ -47,6 +75,19 @@ FULL_GRID = [(2000, 8.0), (2000, 16.0), (4000, 16.0)]
 QUICK_GRID = [(2000, 16.0)]
 
 SPEEDUP_FLOOR = 3.0
+
+#: (n, d) for packed vs bignum: the regime the packed kernel opens.  The
+#: wedge scan's advantage grows with n (the bignum edge-AND pays n/30
+#: digits per probe, the packed probe pays one word): ~4x at 32768,
+#: ~10x at 10^5 on d=8 planted instances.
+PACKED_FULL_GRID = [(32768, 8.0), (65536, 8.0), (100000, 8.0)]
+PACKED_QUICK_GRID = [(8192, 8.0), (32768, 8.0)]
+
+PACKED_SPEEDUP_FLOOR = 3.0
+#: Cases gated by the packed floor, at the largest n of the grid in use.
+PACKED_GATED = ("count_triangles", "greedy_packing")
+
+SCALE_CHECK_N = 100_000
 
 
 def build_instance(n: int, d: float, seed: int = 1) -> tuple[Graph, SetGraph]:
@@ -85,6 +126,42 @@ def run_grid(grid, repeats: int = 7) -> list[dict]:
     return rows
 
 
+def build_packed_instance(n: int, d: float,
+                          seed: int = 1) -> tuple[Graph, Graph]:
+    """One planted instance, bit-identical on both mask kernels."""
+    instance = planted_disjoint_triangles(
+        n, n // 10, seed=seed, background_degree=d, backend="bigint"
+    )
+    bigint = instance.graph
+    packed = bigint.to_backend("packed")
+    assert packed.num_edges == bigint.num_edges
+    return bigint, packed
+
+
+def run_packed_grid(grid, repeats: int = 3) -> list[dict]:
+    """packed-vs-bignum timings; outputs asserted identical per case."""
+    rows = []
+    for n, d in grid:
+        bigint, packed = build_packed_instance(n, d)
+        cases = [
+            ("count_triangles", count_triangles),
+            ("greedy_packing", greedy_triangle_packing),
+            ("find_triangle", find_triangle),
+        ]
+        for name, fn in cases:
+            packed_time, packed_out = best_of(repeats, fn, packed)
+            bigint_time, bigint_out = best_of(repeats, fn, bigint)
+            assert packed_out == bigint_out, (
+                f"{name} output mismatch at n={n}, d={d}"
+            )
+            rows.append({
+                "n": n, "d": d, "case": name,
+                "bigint_s": bigint_time, "packed_s": packed_time,
+                "speedup": bigint_time / max(packed_time, 1e-12),
+            })
+    return rows
+
+
 def print_table(rows) -> None:
     header = f"{'n':>6} {'d':>5} {'case':<16} {'set':>9} {'bitset':>9} {'x':>7}"
     print(header)
@@ -93,6 +170,22 @@ def print_table(rows) -> None:
         print(
             f"{row['n']:>6} {row['d']:>5.1f} {row['case']:<16} "
             f"{row['set_s'] * 1e3:>7.1f}ms {row['bitset_s'] * 1e3:>7.1f}ms "
+            f"{row['speedup']:>6.1f}x"
+        )
+
+
+def print_packed_table(rows) -> None:
+    header = (
+        f"{'n':>7} {'d':>5} {'case':<16} {'bigint':>10} {'packed':>10} "
+        f"{'x':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['n']:>7} {row['d']:>5.1f} {row['case']:<16} "
+            f"{row['bigint_s'] * 1e3:>8.1f}ms "
+            f"{row['packed_s'] * 1e3:>8.1f}ms "
             f"{row['speedup']:>6.1f}x"
         )
 
@@ -110,6 +203,96 @@ def check_floor(rows) -> list[str]:
     return failures
 
 
+def check_packed_floor(rows) -> list[str]:
+    """Packed bar: gated cases clear the floor at the grid's largest n."""
+    if not rows:
+        return []
+    top_n = max(row["n"] for row in rows)
+    failures = []
+    for row in rows:
+        if (
+            row["case"] in PACKED_GATED
+            and row["n"] == top_n
+            and row["speedup"] < PACKED_SPEEDUP_FLOOR
+        ):
+            failures.append(
+                f"packed {row['case']} at n={row['n']}: "
+                f"{row['speedup']:.1f}x < {PACKED_SPEEDUP_FLOOR}x"
+            )
+    return failures
+
+
+def run_scale_check(n: int = SCALE_CHECK_N) -> list[str]:
+    """Pinned-seed record identity, bigint vs packed, at n = 10^5.
+
+    Two end-to-end pipelines at the target scale, each run once per
+    backend (selected via ``REPRO_GRAPH_BACKEND``, fresh instances per
+    run — no shared cache, so the second run cannot reuse the first
+    backend's graphs):
+
+    * the T1-R2a simultaneous-low configuration on its epsilon-far
+      disjoint-triangle instance (d = 3 keeps the requested farness
+      under the n//3 disjointness cap, so no RuntimeWarning fires);
+    * the row X-2 pattern sweep: every catalog representative through
+      the planted-H builder and the generalized induced-sample tester.
+
+    Returns mismatch descriptions (empty = byte-identical records).
+    """
+    failures: list[str] = []
+    sim_params = SimLowParams(epsilon=0.2, delta=0.2)
+    pattern_params = SubgraphParams(epsilon=0.15, c=1.6, rounds=4)
+    k = 3
+
+    sweeps: list[tuple[str, object, object]] = [(
+        "sim-low@T1-R2a",
+        lambda partition, s: find_triangle_sim_low(
+            partition, sim_params, seed=s
+        ),
+        far_disjoint_instance(epsilon=0.2, k=k),
+    )]
+    for pattern in PATTERN_ROW_PATTERNS:
+        sweeps.append((
+            f"patterns@X-2:{pattern.name}",
+            PatternProtocol(pattern, pattern_params),
+            PlantedPatternBuilder(pattern, k),
+        ))
+
+    for label, protocol, instance_fn in sweeps:
+        grid = [(n, 3.0 if label.startswith("sim-low") else 4.0, k)]
+        per_backend = {}
+        for backend in ("bigint", "packed"):
+            os.environ["REPRO_GRAPH_BACKEND"] = backend
+            try:
+                per_backend[backend] = run_sweep(
+                    protocol, instance_fn, grid, trials=2, seed=0
+                ).records
+            finally:
+                os.environ.pop("REPRO_GRAPH_BACKEND", None)
+        if per_backend["bigint"] != per_backend["packed"]:
+            failures.append(f"{label}: records differ across backends")
+        else:
+            bits = [r.bits for r in per_backend["bigint"]]
+            print(
+                f"scale-check {label}: n={n} records identical "
+                f"(bits={bits})"
+            )
+    return failures
+
+
+def write_json(packed_rows, path: Path, scale_check=None) -> None:
+    payload = {
+        "bench": "packed_kernel",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "speedup_floor": PACKED_SPEEDUP_FLOOR,
+        "gated_cases": list(PACKED_GATED),
+        "rows": packed_rows,
+    }
+    if scale_check is not None:
+        payload["scale_check"] = scale_check
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def test_kernel_speedup_and_identical_outputs(benchmark, print_row):
     """pytest entry: quick grid, outputs identical, floor respected."""
     rows = benchmark.pedantic(
@@ -125,18 +308,66 @@ def test_kernel_speedup_and_identical_outputs(benchmark, print_row):
     assert not check_floor(rows)
 
 
+def test_packed_kernel_speedup_and_identical_outputs(benchmark, print_row):
+    """pytest entry: packed quick grid, identical outputs, 3x floor."""
+    rows = benchmark.pedantic(
+        lambda: run_packed_grid(PACKED_QUICK_GRID, repeats=2),
+        rounds=1, iterations=1,
+    )
+    for row in rows:
+        print_row(
+            f"packed {row['case']} n={row['n']}: {row['speedup']:.1f}x"
+        )
+    benchmark.extra_info["speedups"] = {
+        f"{r['case']}@{r['n']}": round(r["speedup"], 2) for r in rows
+    }
+    assert not check_packed_floor(rows)
+
+
 def main(argv: list[str]) -> int:
-    grid = QUICK_GRID if "--quick" in argv else FULL_GRID
-    rows = run_grid(grid)
+    quick = "--quick" in argv
+    json_path = Path(__file__).with_name("BENCH_packed_kernel.json")
+    if "--json" in argv:
+        operand = argv.index("--json") + 1
+        if operand >= len(argv):
+            print(
+                "usage: bench_graph_kernel.py [--quick] [--scale-check] "
+                "[--json PATH]"
+            )
+            return 2
+        json_path = Path(argv[operand])
+
+    rows = run_grid(QUICK_GRID if quick else FULL_GRID)
     print_table(rows)
     failures = check_floor(rows)
+
+    packed_rows = run_packed_grid(
+        PACKED_QUICK_GRID if quick else PACKED_FULL_GRID,
+        repeats=2 if quick else 3,
+    )
+    print_packed_table(packed_rows)
+    failures.extend(check_packed_floor(packed_rows))
+
+    scale_check = None
+    if "--scale-check" in argv:
+        scale_failures = run_scale_check()
+        failures.extend(scale_failures)
+        scale_check = {
+            "n": SCALE_CHECK_N,
+            "identical": not scale_failures,
+        }
+
+    write_json(packed_rows, json_path, scale_check)
+    print(f"wrote {json_path}")
+
     if failures:
-        print("SPEEDUP FLOOR MISSED:")
+        print("SPEEDUP FLOOR MISSED / IDENTITY BROKEN:")
         for failure in failures:
             print(f"  {failure}")
         return 1
     print(
-        f"ok: all gated cases >= {SPEEDUP_FLOOR}x, outputs identical"
+        f"ok: gated cases >= {SPEEDUP_FLOOR}x (bitset) and "
+        f">= {PACKED_SPEEDUP_FLOOR}x (packed), outputs identical"
     )
     return 0
 

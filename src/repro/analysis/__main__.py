@@ -6,11 +6,15 @@ Options:
   --row ID     run a single row by id (e.g. T1-R2a, X-1, L4.5)
   --workers N  process-pool width for sweeps (0 = all cores; default:
                the REPRO_WORKERS env var, else serial)
+  --backend B  graph kernel backend (bigint, packed, auto); sets
+               REPRO_GRAPH_BACKEND for this run — records are
+               byte-identical across backends on pinned seeds
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis import table1
@@ -46,7 +50,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="process-pool width for sweeps "
                              "(0 = all cores; default REPRO_WORKERS)")
+    parser.add_argument("--backend", type=str, default=None,
+                        choices=("bigint", "packed", "auto"),
+                        help="graph kernel backend "
+                             "(sets REPRO_GRAPH_BACKEND for this run)")
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        # Environment, not a threaded argument: sweeps re-resolve the
+        # backend inside worker processes from REPRO_GRAPH_BACKEND.
+        os.environ["REPRO_GRAPH_BACKEND"] = args.backend
 
     try:  # surface a bad --workers/REPRO_WORKERS before any sweep runs
         resolve_workers(args.workers)

@@ -20,7 +20,10 @@ each story the paper tells:
   plus isolated vertices, lowering the average degree without changing the
   problem.
 
-All generators take an explicit ``seed`` and are deterministic given it.
+All generators take an explicit ``seed`` and are deterministic given it,
+and thread an optional ``backend=`` through to ``Graph`` — the sampled
+edge set depends only on the seed, never on the kernel, so pinned-seed
+instances are identical across backends.
 """
 
 from __future__ import annotations
@@ -50,12 +53,13 @@ __all__ = [
 ]
 
 
-def gnp(n: int, p: float, seed: int = 0) -> Graph:
+def gnp(n: int, p: float, seed: int = 0,
+        backend: str | None = None) -> Graph:
     """Erdős–Rényi G(n, p)."""
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"p must be in [0,1], got {p}")
     rng = random.Random(seed)
-    graph = Graph(n)
+    graph = Graph(n, backend=backend)
     if p == 0.0 or n < 2:
         return graph
     # Geometric skipping over the ordered pair list for speed.
@@ -85,12 +89,13 @@ def gnp(n: int, p: float, seed: int = 0) -> Graph:
         graph.add_edge(u, u + 1 + (index - row_start))
 
 
-def gnd(n: int, d: float, seed: int = 0) -> Graph:
+def gnd(n: int, d: float, seed: int = 0,
+        backend: str | None = None) -> Graph:
     """Random graph with expected average degree ``d``."""
     if n < 2:
-        return Graph(n)
+        return Graph(n, backend=backend)
     p = min(1.0, d / (n - 1))
-    return gnp(n, p, seed)
+    return gnp(n, p, seed, backend=backend)
 
 
 @dataclass(frozen=True)
@@ -104,7 +109,8 @@ class PlantedInstance:
 
 
 def planted_disjoint_triangles(n: int, num_triangles: int, seed: int = 0,
-                               background_degree: float = 0.0
+                               background_degree: float = 0.0,
+                               backend: str | None = None
                                ) -> PlantedInstance:
     """Plant ``num_triangles`` vertex-disjoint triangles, plus background.
 
@@ -123,9 +129,9 @@ def planted_disjoint_triangles(n: int, num_triangles: int, seed: int = 0,
     vertices = list(range(n))
     rng.shuffle(vertices)
     graph = (
-        gnd(n, background_degree, seed=seed + 1)
+        gnd(n, background_degree, seed=seed + 1, backend=backend)
         if background_degree > 0
-        else Graph(n)
+        else Graph(n, backend=backend)
     )
     planted: list[tuple[int, int, int]] = []
     for t in range(num_triangles):
@@ -139,7 +145,8 @@ def planted_disjoint_triangles(n: int, num_triangles: int, seed: int = 0,
 
 
 def far_instance(n: int, d: float, epsilon: float, seed: int = 0,
-                 strict: bool = False) -> PlantedInstance:
+                 strict: bool = False,
+                 backend: str | None = None) -> PlantedInstance:
     """An instance with average degree ≈ d that is ≈ epsilon-far.
 
     Total edges ≈ nd/2; we plant ``epsilon * nd / 2`` disjoint triangles
@@ -161,7 +168,8 @@ def far_instance(n: int, d: float, epsilon: float, seed: int = 0,
     leftover = max(0.0, target_edges - triangle_edges)
     background_degree = 2.0 * leftover / n
     instance = planted_disjoint_triangles(
-        n, num_triangles, seed=seed, background_degree=background_degree
+        n, num_triangles, seed=seed, background_degree=background_degree,
+        backend=backend,
     )
     if instance.epsilon_certified < 0.9 * epsilon:
         cause = (
@@ -182,7 +190,8 @@ def far_instance(n: int, d: float, epsilon: float, seed: int = 0,
 
 
 def skewed_hub_graph(n: int, num_hubs: int, vees_per_hub: int,
-                     seed: int = 0, background_degree: float = 0.0) -> Graph:
+                     seed: int = 0, background_degree: float = 0.0,
+                     backend: str | None = None) -> Graph:
     """A few high-degree hubs source all triangle-vees (§3.3 hard case).
 
     Each hub h is connected to ``2 * vees_per_hub`` distinct spoke vertices
@@ -203,9 +212,9 @@ def skewed_hub_graph(n: int, num_hubs: int, vees_per_hub: int,
     hubs = vertices[:num_hubs]
     spokes = vertices[num_hubs: num_hubs + spokes_needed]
     graph = (
-        gnd(n, background_degree, seed=seed + 1)
+        gnd(n, background_degree, seed=seed + 1, backend=backend)
         if background_degree > 0
-        else Graph(n)
+        else Graph(n, backend=backend)
     )
     cursor = 0
     for hub in hubs:
@@ -240,7 +249,8 @@ def mu_parts(part_size: int) -> TripartiteParts:
     )
 
 
-def tripartite_mu(part_size: int, gamma: float, seed: int = 0
+def tripartite_mu(part_size: int, gamma: float, seed: int = 0,
+                  backend: str | None = None
                   ) -> tuple[Graph, TripartiteParts]:
     """Sample from the lower-bound distribution µ (Section 4.2.1).
 
@@ -255,7 +265,7 @@ def tripartite_mu(part_size: int, gamma: float, seed: int = 0
     n = parts.n
     p = min(1.0, gamma / math.sqrt(n))
     rng = random.Random(seed)
-    graph = Graph(n)
+    graph = Graph(n, backend=backend)
     part_pairs = (
         (parts.u_part, parts.v1_part),
         (parts.u_part, parts.v2_part),
@@ -276,11 +286,12 @@ def tripartite_mu(part_size: int, gamma: float, seed: int = 0
     return graph, parts
 
 
-def bipartite_triangle_free(n: int, d: float, seed: int = 0) -> Graph:
+def bipartite_triangle_free(n: int, d: float, seed: int = 0,
+                            backend: str | None = None) -> Graph:
     """A triangle-free control graph of average degree ≈ d (random bipartite)."""
     rng = random.Random(seed)
     half = n // 2
-    graph = Graph(n)
+    graph = Graph(n, backend=backend)
     if half == 0 or n - half == 0:
         return graph
     p = min(1.0, n * d / (2.0 * half * (n - half)))
@@ -296,7 +307,8 @@ def bipartite_triangle_free(n: int, d: float, seed: int = 0) -> Graph:
 
 
 def planted_triangles_at_degree(n: int, num_triangles: int,
-                                vertex_degree: int, seed: int = 0) -> Graph:
+                                vertex_degree: int, seed: int = 0,
+                                backend: str | None = None) -> Graph:
     """Plant disjoint triangles whose vertices all have a chosen degree.
 
     Each triangle vertex receives ``vertex_degree - 2`` extra leaf edges,
@@ -320,7 +332,7 @@ def planted_triangles_at_degree(n: int, num_triangles: int,
     rng = random.Random(seed)
     vertices = list(range(n))
     rng.shuffle(vertices)
-    graph = Graph(n)
+    graph = Graph(n, backend=backend)
     cursor = 3 * num_triangles
     for t in range(num_triangles):
         a, b, c = vertices[3 * t: 3 * t + 3]
@@ -335,7 +347,7 @@ def planted_triangles_at_degree(n: int, num_triangles: int,
 
 
 def disjoint_cliques(n: int, clique_size: int, count: int,
-                     seed: int = 0) -> Graph:
+                     seed: int = 0, backend: str | None = None) -> Graph:
     """``count`` vertex-disjoint copies of K_{clique_size}.
 
     Every clique vertex has degree ``clique_size - 1`` and a near-perfect
@@ -356,7 +368,7 @@ def disjoint_cliques(n: int, clique_size: int, count: int,
     rng = random.Random(seed)
     vertices = list(range(n))
     rng.shuffle(vertices)
-    graph = Graph(n)
+    graph = Graph(n, backend=backend)
     for index in range(count):
         members = vertices[index * clique_size: (index + 1) * clique_size]
         for i, u in enumerate(members):
@@ -366,7 +378,8 @@ def disjoint_cliques(n: int, clique_size: int, count: int,
 
 
 def triangle_free_degree_spread(n: int, d: float, max_degree: int,
-                                seed: int = 0) -> Graph:
+                                seed: int = 0,
+                                backend: str | None = None) -> Graph:
     """Triangle-free control with degrees spread across all buckets.
 
     A bipartite graph (hence triangle-free) whose left side contains
@@ -380,7 +393,7 @@ def triangle_free_degree_spread(n: int, d: float, max_degree: int,
     rng = random.Random(seed)
     half = n // 2
     if half < 2:
-        return Graph(n)
+        return Graph(n, backend=backend)
     max_degree = min(max_degree, half - 1)
     bucket_degrees: list[int] = []
     degree = 1
@@ -403,7 +416,7 @@ def triangle_free_degree_spread(n: int, d: float, max_degree: int,
     if total_left > half:
         shrink = half / total_left
         counts = [max(1, int(count * shrink)) for count in counts]
-    graph = Graph(n)
+    graph = Graph(n, backend=backend)
     left_cursor = 0
     right = list(range(half, n))
     # Heavy buckets first, so the high-degree vertices always exist even
@@ -422,7 +435,8 @@ def triangle_free_degree_spread(n: int, d: float, max_degree: int,
     return graph
 
 
-def embed_in_larger_graph(core: Graph, total_n: int, seed: int = 0) -> Graph:
+def embed_in_larger_graph(core: Graph, total_n: int, seed: int = 0,
+                          backend: str | None = None) -> Graph:
     """Lemma 4.17 embedding: the core plus isolated vertices, shuffled ids.
 
     Triangle structure and distance to triangle-freeness are exactly those
@@ -435,7 +449,7 @@ def embed_in_larger_graph(core: Graph, total_n: int, seed: int = 0) -> Graph:
     rng = random.Random(seed)
     relabel = list(range(total_n))
     rng.shuffle(relabel)
-    graph = Graph(total_n)
+    graph = Graph(total_n, backend=backend)
     for u, v in core.edges():
         graph.add_edge(relabel[u], relabel[v])
     return graph

@@ -1,24 +1,35 @@
 """Compact undirected graph used throughout the reproduction.
 
 Vertices are integers ``0 .. n-1``; edges are canonical ordered pairs
-``(u, v)`` with ``u < v``.  The class is deliberately small and dependency
-free — protocols manipulate millions of edge membership queries, and the
-representation is a *bitset kernel*: each vertex stores its neighbourhood
-as one arbitrary-precision Python ``int`` whose bit ``v`` is set iff the
-edge ``{u, v}`` exists.  Consequences:
+``(u, v)`` with ``u < v``.  The class is deliberately small and keeps
+only the *semantics* — validation, edge counting, canonical orientation;
+storage and bulk mask arithmetic live in a pluggable *mask kernel*
+(:mod:`repro.graphs.kernels`), selected per instance:
 
-* ``has_edge`` is a shift-and-test,
-* ``degree`` is ``int.bit_count()``,
-* common neighbourhoods (the triangle hot path) are a single ``&`` of two
-  ints, executed word-at-a-time in C instead of element-wise in Python,
-* ``copy`` is a shallow list copy (ints are immutable).
+* ``bigint`` — one arbitrary-precision Python int per vertex whose bit
+  ``v`` is set iff edge ``{u, v}`` exists; ``has_edge`` is a
+  shift-and-test, ``degree`` is ``int.bit_count()``, and a common
+  neighbourhood is a single ``&`` executed word-at-a-time in C.
+* ``packed`` — a numpy ``uint64`` matrix of shape ``(n, ceil(n/64))``
+  with vectorized bulk ops and word-addressable bit probes; the
+  n = 10^5+ backend.
+
+``Graph(n, backend=...)`` picks explicitly; otherwise the
+``REPRO_GRAPH_BACKEND`` environment variable, then the ``auto`` policy
+(packed above :data:`repro.graphs.kernels.PACKED_AUTO_THRESHOLD`
+vertices) decide — the same seam style as ``player_factory=`` and
+``matcher=``.  Whatever the backend, every query speaks the Python-int
+mask exchange format, so pinned-seed runs are byte-identical across
+backends and callers never see which kernel is underneath.
 
 The paper's model hands each player a *characteristic vector* over potential
 edges; :class:`Graph` is the ground-truth union of those vectors, and
 :mod:`repro.graphs.partition` produces the per-player views.
 
 Bulk primitives (:meth:`Graph.neighbor_mask`, :meth:`Graph.common_neighbors`,
-:meth:`Graph.add_edges`, :meth:`Graph.add_neighbors`, plus the module-level
+:meth:`Graph.add_edges`, :meth:`Graph.add_neighbors`,
+:meth:`Graph.adjacency_rows`, :meth:`Graph.induced_subgraph_mask_rows`,
+:meth:`Graph.edges_touching_mask`, plus the module-level
 :func:`iter_bits` / :func:`mask_of`) expose the masks directly so the
 triangle layer, generators, bucketing, and the streaming reduction can stay
 on the fast path without reaching into private state.  A pure-Python
@@ -30,9 +41,15 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-__all__ = ["Graph", "canonical_edge", "iter_bits", "mask_of"]
+from repro.graphs.kernels.base import (
+    Edge,
+    MaskKernel,
+    get_kernel,
+    iter_bits,
+    mask_of,
+)
 
-Edge = tuple[int, int]
+__all__ = ["Graph", "canonical_edge", "iter_bits", "mask_of"]
 
 
 def canonical_edge(u: int, v: int) -> Edge:
@@ -40,22 +57,6 @@ def canonical_edge(u: int, v: int) -> Edge:
     if u == v:
         raise ValueError(f"self-loop ({u}, {v}) is not a valid edge")
     return (u, v) if u < v else (v, u)
-
-
-def iter_bits(mask: int) -> Iterator[int]:
-    """Yield the set-bit positions of ``mask``, ascending."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
-
-
-def mask_of(vertices: Iterable[int]) -> int:
-    """The bitmask with exactly the bits in ``vertices`` set."""
-    mask = 0
-    for v in vertices:
-        mask |= 1 << v
-    return mask
 
 
 class Graph:
@@ -68,18 +69,53 @@ class Graph:
         known vertex universe and only the edge set is distributed.
     edges:
         Optional iterable of edges (any orientation; canonicalized).
+    backend:
+        Mask-kernel name (``"bigint"``, ``"packed"``, ``"auto"``) or
+        ``None`` to defer to ``REPRO_GRAPH_BACKEND`` / the auto policy.
     """
 
-    __slots__ = ("_n", "_adjacency", "_edge_count")
+    __slots__ = ("_n", "_kernel", "_edge_count")
 
-    def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
+    def __init__(self, n: int, edges: Iterable[Edge] = (),
+                 backend: str | None = None) -> None:
         if n < 0:
             raise ValueError(f"vertex count must be non-negative, got {n}")
         self._n = n
-        self._adjacency: list[int] = [0] * n
+        self._kernel: MaskKernel = get_kernel(backend, n)(n)
         self._edge_count = 0
         for u, v in edges:
             self.add_edge(u, v)
+
+    @classmethod
+    def _wrap(cls, n: int, kernel: MaskKernel, edge_count: int) -> "Graph":
+        graph = cls.__new__(cls)
+        graph._n = n
+        graph._kernel = kernel
+        graph._edge_count = edge_count
+        return graph
+
+    # ------------------------------------------------------------------
+    # Backend seam
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Name of the mask kernel this instance runs on."""
+        return self._kernel.name
+
+    @property
+    def kernel(self) -> MaskKernel:
+        """The underlying mask kernel (for dispatch to native paths)."""
+        return self._kernel
+
+    def to_backend(self, backend: str) -> "Graph":
+        """A copy of this graph on the named backend.
+
+        Rows convert losslessly through the Python-int exchange format,
+        so the result is == to the source whatever the two kernels.
+        """
+        cls = get_kernel(backend, self._n)
+        kernel = cls.from_rows(self._n, self._kernel.rows())
+        return Graph._wrap(self._n, kernel, self._edge_count)
 
     # ------------------------------------------------------------------
     # Construction
@@ -89,11 +125,8 @@ class Graph:
         u, v = canonical_edge(u, v)
         self._check_vertex(u)
         self._check_vertex(v)
-        adjacency = self._adjacency
-        if adjacency[u] >> v & 1:
+        if not self._kernel.set_edge(u, v):
             return False
-        adjacency[u] |= 1 << v
-        adjacency[v] |= 1 << u
         self._edge_count += 1
         return True
 
@@ -117,15 +150,7 @@ class Graph:
             )
         if mask >> u & 1:
             raise ValueError(f"self-loop ({u}, {u}) is not a valid edge")
-        adjacency = self._adjacency
-        new = mask & ~adjacency[u]
-        if not new:
-            return 0
-        adjacency[u] |= new
-        bit_u = 1 << u
-        for v in iter_bits(new):
-            adjacency[v] |= bit_u
-        added = new.bit_count()
+        added = self._kernel.merge_row(u, mask)
         self._edge_count += added
         return added
 
@@ -134,19 +159,13 @@ class Graph:
         u, v = canonical_edge(u, v)
         self._check_vertex(u)
         self._check_vertex(v)
-        adjacency = self._adjacency
-        if not adjacency[u] >> v & 1:
+        if not self._kernel.clear_edge(u, v):
             return False
-        adjacency[u] &= ~(1 << v)
-        adjacency[v] &= ~(1 << u)
         self._edge_count -= 1
         return True
 
     def copy(self) -> "Graph":
-        clone = Graph(self._n)
-        clone._adjacency = self._adjacency.copy()
-        clone._edge_count = self._edge_count
-        return clone
+        return Graph._wrap(self._n, self._kernel.copy(), self._edge_count)
 
     @classmethod
     def from_edges(cls, n: int, edges: Iterable[Edge]) -> "Graph":
@@ -169,35 +188,36 @@ class Graph:
             return False
         self._check_vertex(u)
         self._check_vertex(v)
-        return bool(self._adjacency[u] >> v & 1)
+        return self._kernel.has_edge(u, v)
 
     def degree(self, v: int) -> int:
         self._check_vertex(v)
-        return self._adjacency[v].bit_count()
+        return self._kernel.popcount(v)
 
     def neighbors(self, v: int) -> frozenset[int]:
         self._check_vertex(v)
-        return frozenset(iter_bits(self._adjacency[v]))
+        return frozenset(iter_bits(self._kernel.row(v)))
 
     def neighbor_mask(self, v: int) -> int:
-        """N(v) as a bitmask — the raw kernel word."""
+        """N(v) as a bitmask — the kernel row in exchange form."""
         self._check_vertex(v)
-        return self._adjacency[v]
+        return self._kernel.row(v)
 
     def adjacency_rows(self) -> list[int]:
         """The adjacency masks, indexed by vertex — treat as READ-ONLY.
 
-        The hot loops (triangle layer, benchmarks) index this list
-        directly to skip per-call bounds checks; mutating it would
-        desynchronise the edge count and the symmetry invariant.
+        On the bigint backend this is the live kernel list (the hot
+        loops index it directly to skip per-call bounds checks; mutating
+        it would desynchronise the edge count and the symmetry
+        invariant); on other backends it is a converted snapshot.
         """
-        return self._adjacency
+        return self._kernel.rows()
 
     def common_neighbors(self, u: int, v: int) -> int:
-        """N(u) ∩ N(v) as a bitmask: one ``&`` of two ints."""
+        """N(u) ∩ N(v) as a bitmask: one kernel AND."""
         self._check_vertex(u)
         self._check_vertex(v)
-        return self._adjacency[u] & self._adjacency[v]
+        return self._kernel.row_and(u, v)
 
     def average_degree(self) -> float:
         """``2|E| / n`` — the ``d`` of the paper's complexity bounds."""
@@ -207,31 +227,73 @@ class Graph:
 
     def edges(self) -> Iterator[Edge]:
         """All edges in canonical orientation, ascending."""
-        for u, mask in enumerate(self._adjacency):
-            upper = mask >> (u + 1)
-            while upper:
-                low = upper & -upper
-                yield (u, u + low.bit_length())
-                upper ^= low
+        return self._kernel.iter_edges()
 
     def edge_set(self) -> set[Edge]:
+        """Compatibility wrapper: the edges as a plain set.
+
+        Mask-native callers should iterate :meth:`edges` or take
+        :meth:`adjacency_rows`; this survives for tests and callers that
+        genuinely want set algebra.
+        """
         return set(self.edges())
 
     def degrees(self) -> list[int]:
-        return [mask.bit_count() for mask in self._adjacency]
+        return self._kernel.popcounts()
 
     def isolated_vertices(self) -> list[int]:
-        return [v for v in range(self._n) if not self._adjacency[v]]
+        return [
+            v for v, deg in enumerate(self._kernel.popcounts()) if not deg
+        ]
 
     # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
+    def induced_subgraph_mask_rows(self, vertex_mask: int) -> list[int]:
+        """Adjacency rows of the induced subgraph on a vertex *mask*.
+
+        The mask-native form of the Section 3.1 primitive: row ``u`` of
+        the result is ``N(u) ∩ vertex_mask`` for ``u`` in the mask and
+        ``0`` elsewhere, ready for :func:`repro.graphs.triangles.\
+find_triangle_in_rows` or the patterns matcher — no edge tuples are
+        materialised.
+        """
+        self._check_mask(vertex_mask)
+        rows = [0] * self._n
+        kernel = self._kernel
+        for u in iter_bits(vertex_mask):
+            rows[u] = kernel.row(u) & vertex_mask
+        return rows
+
+    def edges_touching_mask(self, vertex_mask: int) -> list[int]:
+        """Adjacency rows of the subgraph of edges meeting a vertex mask.
+
+        Mask-native twin of :meth:`edges_touching`: the result contains
+        exactly the edges with at least one endpoint in ``vertex_mask``,
+        as symmetric per-vertex rows (outside endpoints keep only their
+        bits towards the mask).
+        """
+        self._check_mask(vertex_mask)
+        rows = [0] * self._n
+        kernel = self._kernel
+        for u in iter_bits(vertex_mask):
+            row = kernel.row(u)
+            rows[u] |= row
+            bit_u = 1 << u
+            for v in iter_bits(row & ~vertex_mask):
+                rows[v] |= bit_u
+        return rows
+
     def induced_subgraph_edges(self, vertices: Iterable[int]) -> set[Edge]:
-        """Edges with both endpoints in ``vertices`` (Section 3.1 primitive)."""
+        """Compatibility wrapper over :meth:`induced_subgraph_mask_rows`.
+
+        Returns the induced edges as a set of canonical tuples; new
+        callers should take the mask-rows form and stay on the kernel.
+        """
         vertex_mask = self._checked_mask(vertices)
         found: set[Edge] = set()
         for u in iter_bits(vertex_mask):
-            inner = (self._adjacency[u] & vertex_mask) >> (u + 1)
+            inner = (self._kernel.row(u) & vertex_mask) >> (u + 1)
             while inner:
                 low = inner & -inner
                 found.add((u, u + low.bit_length()))
@@ -239,39 +301,36 @@ class Graph:
         return found
 
     def edges_touching(self, vertices: Iterable[int]) -> set[Edge]:
-        """Edges with at least one endpoint in ``vertices``."""
+        """Compatibility wrapper over :meth:`edges_touching_mask`.
+
+        Returns the touching edges as a set of canonical tuples; new
+        callers should take the mask-rows form and stay on the kernel.
+        """
         vertex_mask = self._checked_mask(vertices)
         found: set[Edge] = set()
         for u in iter_bits(vertex_mask):
-            for v in iter_bits(self._adjacency[u]):
+            for v in iter_bits(self._kernel.row(u)):
                 found.add((u, v) if u < v else (v, u))
         return found
 
     def subgraph(self, vertices: Iterable[int]) -> "Graph":
         """Induced subgraph, preserving vertex ids (others become isolated)."""
         vertex_mask = self._checked_mask(vertices)
-        clone = Graph(self._n)
-        total_degree = 0
-        for u in iter_bits(vertex_mask):
-            row = self._adjacency[u] & vertex_mask
-            clone._adjacency[u] = row
-            total_degree += row.bit_count()
-        clone._edge_count = total_degree // 2
-        return clone
+        kernel, edge_count = self._kernel.induced(vertex_mask)
+        return Graph._wrap(self._n, kernel, edge_count)
 
     def union(self, other: "Graph") -> "Graph":
         if other.n != self._n:
             raise ValueError(
                 f"vertex-count mismatch: {self._n} vs {other.n}"
             )
-        merged = Graph(self._n)
-        total_degree = 0
-        for u in range(self._n):
-            row = self._adjacency[u] | other._adjacency[u]
-            merged._adjacency[u] = row
-            total_degree += row.bit_count()
-        merged._edge_count = total_degree // 2
-        return merged
+        other_kernel = other._kernel
+        if type(other_kernel) is not type(self._kernel):
+            other_kernel = type(self._kernel).from_rows(
+                self._n, other_kernel.rows()
+            )
+        kernel, edge_count = self._kernel.union_with(other_kernel)
+        return Graph._wrap(self._n, kernel, edge_count)
 
     # ------------------------------------------------------------------
     # Dunder / misc
@@ -283,17 +342,36 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._n == other._n and self._adjacency == other._adjacency
+        if self._n != other._n:
+            return False
+        if type(self._kernel) is type(other._kernel):
+            return self._kernel.rows_equal(other._kernel)
+        # Cross-backend: compare through the int exchange format.
+        return self._kernel.rows() == other._kernel.rows()
 
     def __hash__(self) -> int:  # pragma: no cover - graphs used as dict keys rarely
         return hash((self._n, frozenset(self.edges())))
 
     def __repr__(self) -> str:
-        return f"Graph(n={self._n}, m={self._edge_count})"
+        return (
+            f"Graph(n={self._n}, m={self._edge_count}, "
+            f"backend={self._kernel.name!r})"
+        )
 
     def to_networkx(self):
-        """Convert to ``networkx.Graph`` (isolated vertices preserved)."""
-        import networkx as nx
+        """Convert to ``networkx.Graph`` (isolated vertices preserved).
+
+        networkx is the optional ``reference`` extra; no production path
+        needs this method.
+        """
+        try:
+            import networkx as nx
+        except ImportError as exc:
+            raise ImportError(
+                "Graph.to_networkx needs networkx, an optional "
+                "dependency used only for reference and differential "
+                "paths; install it via `pip install -e '.[reference]'`"
+            ) from exc
 
         nx_graph = nx.Graph()
         nx_graph.add_nodes_from(range(self._n))
@@ -303,6 +381,12 @@ class Graph:
     def _check_vertex(self, v: int) -> None:
         if not 0 <= v < self._n:
             raise ValueError(f"vertex {v} outside range [0, {self._n})")
+
+    def _check_mask(self, mask: int) -> None:
+        if mask < 0 or mask >> self._n:
+            raise ValueError(
+                f"vertex mask has bits outside [0, {self._n})"
+            )
 
     def _checked_mask(self, vertices: Iterable[int]) -> int:
         mask = 0

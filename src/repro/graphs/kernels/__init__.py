@@ -1,0 +1,32 @@
+"""Mask-kernel backends for :class:`repro.graphs.graph.Graph`.
+
+See :mod:`repro.graphs.kernels.base` for the :class:`MaskKernel`
+protocol and the selection policy.  ``bigint`` is always available;
+``packed`` (numpy uint64 words) registers lazily on first request.
+"""
+
+from repro.graphs.kernels.base import (
+    BACKEND_ENV_VAR,
+    PACKED_AUTO_THRESHOLD,
+    MaskKernel,
+    get_kernel,
+    iter_bits,
+    kernel_names,
+    mask_of,
+    packed_available,
+    register_kernel,
+)
+from repro.graphs.kernels.bigint import BigintKernel
+
+__all__ = [
+    "MaskKernel",
+    "BigintKernel",
+    "get_kernel",
+    "register_kernel",
+    "kernel_names",
+    "packed_available",
+    "iter_bits",
+    "mask_of",
+    "BACKEND_ENV_VAR",
+    "PACKED_AUTO_THRESHOLD",
+]

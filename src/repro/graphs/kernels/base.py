@@ -1,0 +1,264 @@
+"""The formal ``MaskKernel`` contract and the backend registry.
+
+A *mask kernel* is the storage engine behind :class:`repro.graphs.graph.Graph`:
+it owns the symmetric adjacency-bit matrix and nothing else.  ``Graph``
+keeps the semantics (validation, edge counting, canonical orientation)
+and delegates every bit of storage and bulk arithmetic to its kernel, so
+new representations plug in without touching any caller.
+
+Two kernels ship:
+
+* ``bigint`` (:class:`repro.graphs.kernels.bigint.BigintKernel`) — one
+  arbitrary-precision Python int per vertex, the PR 2 bitset kernel.
+  Optimal up to tens of thousands of vertices, where CPython's bignum
+  ``&`` is effectively memory-bound C.
+* ``packed`` (:class:`repro.graphs.kernels.packed.PackedKernel`) — a
+  ``numpy`` ``uint64`` matrix of shape ``(n, ceil(n/64))``.  Rows are
+  word-addressable, which unlocks vectorized single-word bit probes
+  (the wedge-scan triangle natives) that no flat bignum can offer, and
+  opens the n=10^5..10^6 host regime.
+
+The *exchange format* between kernels, and between a kernel and every
+caller, is the Python-int row mask: bit ``v`` of row ``u`` is set iff
+``{u, v}`` is an edge.  Conversion both ways is lossless
+(:meth:`MaskKernel.row` / :meth:`MaskKernel.from_rows`), which is what
+makes pinned-seed runs byte-identical across backends.
+
+Selection follows the same seam style as ``player_factory=`` and
+``matcher=``: an explicit ``Graph(n, backend=...)`` argument wins, then
+the ``REPRO_GRAPH_BACKEND`` environment variable, then the ``auto``
+policy (packed above :data:`PACKED_AUTO_THRESHOLD` vertices when numpy
+is importable, bigint otherwise).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    pass
+
+__all__ = [
+    "Edge",
+    "MaskKernel",
+    "iter_bits",
+    "mask_of",
+    "get_kernel",
+    "register_kernel",
+    "kernel_names",
+    "packed_available",
+    "BACKEND_ENV_VAR",
+    "PACKED_AUTO_THRESHOLD",
+]
+
+Edge = tuple[int, int]
+
+#: Environment variable naming the default backend (``bigint``,
+#: ``packed``, or ``auto``); an explicit ``backend=`` argument wins.
+BACKEND_ENV_VAR = "REPRO_GRAPH_BACKEND"
+
+#: ``auto`` switches to the packed kernel at this vertex count.  Below
+#: it the bignum kernel's per-op latency wins; above it the packed
+#: kernel's vectorized natives and O(1) word probes win (measured
+#: crossover of the triangle hot path is n ~ 1e4; the threshold is set
+#: a notch higher so existing small-n workloads keep their exact
+#: performance profile).
+PACKED_AUTO_THRESHOLD = 32768
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set-bit positions of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of(vertices: Iterable[int]) -> int:
+    """The bitmask with exactly the bits in ``vertices`` set."""
+    mask = 0
+    for v in vertices:
+        mask |= 1 << v
+    return mask
+
+
+@runtime_checkable
+class MaskKernel(Protocol):
+    """Formal contract of a ``Graph`` adjacency backend.
+
+    Invariants every implementation must keep:
+
+    * the bit matrix is **symmetric** with a zero diagonal — mutators
+      update both directions atomically;
+    * ``row(u)`` is the **lossless** Python-int form of row ``u`` (the
+      exchange format), and ``from_rows(n, rows)`` is its exact inverse,
+      so converting between any two kernels round-trips bit for bit;
+    * callers (``Graph``) pre-validate vertices and masks — kernels may
+      assume ``0 <= u, v < n``, ``u != v``, and masks without stray bits.
+
+    Kernels may additionally expose *native accelerators* —
+    ``count_triangles()``, ``greedy_triangle_packing()``,
+    ``find_triangle()`` — that :mod:`repro.graphs.triangles` dispatches
+    to when present.  Natives must return results identical to the
+    generic int-row algorithms (same values, same enumeration order).
+    """
+
+    #: Registry name of the backend (``"bigint"``, ``"packed"``).
+    name: str
+
+    @property
+    def n(self) -> int:
+        """Number of vertices (fixed at construction)."""
+        ...
+
+    # -- mutation ------------------------------------------------------
+    def set_edge(self, u: int, v: int) -> bool:
+        """Set bits (u, v) and (v, u); True iff the edge was new."""
+        ...
+
+    def clear_edge(self, u: int, v: int) -> bool:
+        """Clear bits (u, v) and (v, u); True iff the edge existed."""
+        ...
+
+    def merge_row(self, u: int, mask: int) -> int:
+        """OR ``mask`` into row ``u`` (mirroring the new bits into the
+        partner rows); returns the number of *new* edges."""
+        ...
+
+    # -- queries (int-mask exchange format) ----------------------------
+    def has_edge(self, u: int, v: int) -> bool:
+        """Is bit ``v`` of row ``u`` set?"""
+        ...
+
+    def row(self, u: int) -> int:
+        """N(u) as a Python-int mask — the lossless exchange form."""
+        ...
+
+    def rows(self) -> list[int]:
+        """Every row as a Python int, indexed by vertex.
+
+        The bigint kernel returns its **live** row list (callers treat
+        it as read-only; hot loops index it for free); other kernels
+        return a converted snapshot.  Either way the values are the
+        exact int forms of the current adjacency.
+        """
+        ...
+
+    def row_and(self, u: int, v: int) -> int:
+        """``N(u) & N(v)`` as a Python-int mask (one AND, any width)."""
+        ...
+
+    def popcount(self, u: int) -> int:
+        """Degree of ``u``."""
+        ...
+
+    def popcounts(self) -> list[int]:
+        """All degrees, indexed by vertex."""
+        ...
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """All edges in canonical orientation, ascending (u, then v)."""
+        ...
+
+    # -- whole-kernel operations ---------------------------------------
+    def copy(self) -> "MaskKernel":
+        """An independent deep copy (same backend)."""
+        ...
+
+    def induced(self, vertex_mask: int) -> tuple["MaskKernel", int]:
+        """(kernel of the induced subgraph on ``vertex_mask``, #edges).
+
+        Vertex ids are preserved; rows outside the mask become zero.
+        """
+        ...
+
+    def union_with(self, other: "MaskKernel") -> tuple["MaskKernel", int]:
+        """(kernel of the edge union, #edges); ``other`` has the same
+        ``n`` and the same backend."""
+        ...
+
+    def rows_equal(self, other: "MaskKernel") -> bool:
+        """Bit-for-bit adjacency equality (same-backend fast path)."""
+        ...
+
+    @classmethod
+    def from_rows(cls, n: int, rows: Iterable[int]) -> "MaskKernel":
+        """Build from int rows — the lossless conversion seam.
+
+        ``rows`` must already be symmetric (it always is when it came
+        from another kernel's :meth:`rows`).
+        """
+        ...
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, type] = {}
+
+
+def register_kernel(name: str, cls: type) -> None:
+    """Register a kernel class under ``name`` (extension seam)."""
+    _REGISTRY[name] = cls
+
+
+def kernel_names() -> tuple[str, ...]:
+    """Registered backend names plus the ``auto`` policy."""
+    _ensure_packed_registered()
+    return tuple(sorted(_REGISTRY)) + ("auto",)
+
+
+def packed_available() -> bool:
+    """True when the packed backend's numpy dependency is importable."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - depends on env
+        return False
+    return True
+
+
+def _ensure_packed_registered() -> None:
+    # The packed kernel registers itself on import; import lazily so a
+    # numpy-less environment still gets the bigint kernel (and a
+    # pointed error only when packed is actually requested).
+    if "packed" in _REGISTRY or not packed_available():
+        return
+    from repro.graphs.kernels import packed  # noqa: F401  (self-registers)
+
+
+def get_kernel(backend: str | None = None, n: int = 0) -> type:
+    """Resolve a backend name to its kernel class.
+
+    Resolution order: explicit ``backend`` argument, then the
+    ``REPRO_GRAPH_BACKEND`` environment variable, then ``auto``.  The
+    ``auto`` policy picks ``packed`` when ``n`` is at least
+    :data:`PACKED_AUTO_THRESHOLD` and numpy is importable, else
+    ``bigint``.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or "auto"
+    if backend == "auto":
+        backend = (
+            "packed"
+            if n >= PACKED_AUTO_THRESHOLD and packed_available()
+            else "bigint"
+        )
+    if backend == "packed" and "packed" not in _REGISTRY:
+        if not packed_available():
+            raise ImportError(
+                "the 'packed' graph backend needs numpy (a core "
+                "dependency of this package: `pip install -e .`); "
+                "use backend='bigint' in a numpy-less environment"
+            )
+        _ensure_packed_registered()
+    cls = _REGISTRY.get(backend)
+    if cls is None:
+        _ensure_packed_registered()
+        cls = _REGISTRY.get(backend)
+    if cls is None:
+        raise ValueError(
+            f"unknown graph backend {backend!r}; "
+            f"known: {', '.join(kernel_names())}"
+        )
+    return cls

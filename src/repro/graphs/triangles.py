@@ -59,12 +59,32 @@ def _canonical_triangle(a: int, b: int, c: int) -> Triangle:
     return (x, y, z)
 
 
+def _kernel_native(graph: Graph, name: str):
+    """The kernel's native accelerator for ``name``, already evaluated.
+
+    Kernels may implement ``count_triangles`` / ``find_triangle`` /
+    ``greedy_triangle_packing`` natively (the packed kernel's wedge
+    scans); natives are contracted to return results identical to the
+    generic int-row algorithms and may answer ``NotImplemented`` to
+    decline (e.g. on dense graphs) — both "no native" and "declined"
+    come back here as ``NotImplemented`` so callers fall through.
+    """
+    native = getattr(getattr(graph, "kernel", None), name, None)
+    if native is None:
+        return NotImplemented
+    return native()
+
+
 def find_triangle(graph: Graph) -> Triangle | None:
     """Return the first triangle in ascending order, or ``None``.
 
     Scans edges ascending; the first edge whose endpoints share a
-    neighbour closes with the lowest such apex.
+    neighbour closes with the lowest such apex (equivalently: the
+    lexicographically minimal canonical triple).
     """
+    native = _kernel_native(graph, "find_triangle")
+    if native is not NotImplemented:
+        return native
     rows = graph.adjacency_rows()
     for u in range(graph.n):
         row_u = rows[u]
@@ -105,6 +125,9 @@ def count_triangles(graph: Graph) -> int:
     to deduplicate — the single most-executed loop in the repo stays at
     two big-int ops per edge.
     """
+    native = _kernel_native(graph, "count_triangles")
+    if native is not NotImplemented:
+        return native
     rows = graph.adjacency_rows()
     total = 0
     for u in range(graph.n):
@@ -247,7 +270,14 @@ def greedy_triangle_packing(graph: Graph) -> list[Triangle]:
     for a base edge {u, v} the viable apexes are
     ``common_neighbors(u, v) & ~(used[u] | used[v])`` in one expression,
     and at most one triangle per base edge can ever be packed.
+
+    The scan is exactly lexicographic greedy over the canonical triangle
+    list (the minimum viable apex *is* the lex-next triangle on a free
+    base edge), which is the formulation kernel natives reproduce.
     """
+    native = _kernel_native(graph, "greedy_triangle_packing")
+    if native is not NotImplemented:
+        return native
     rows = graph.adjacency_rows()
     used = [0] * graph.n
     packing: list[Triangle] = []

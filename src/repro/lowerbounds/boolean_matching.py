@@ -29,7 +29,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.graphs.graph import Edge, Graph, iter_bits
+from repro.graphs.graph import Edge, Graph, iter_bits, mask_of
 from repro.graphs.partition import EdgePartition
 
 __all__ = [
@@ -181,12 +181,12 @@ def gadget_has_triangle(instance: BMInstance, i: int) -> bool:
     """
     graph, _, _ = reduction_graph(instance)
     j1, j2 = instance.matching[i]
-    gadget_vertices = {
+    gadget_mask = mask_of((
         hub_vertex(),
         side_vertex(j1, 0), side_vertex(j1, 1),
         side_vertex(j2, 0), side_vertex(j2, 1),
-    }
-    edges = graph.induced_subgraph_edges(gadget_vertices)
-    from repro.graphs.triangles import find_triangle_among
+    ))
+    rows = graph.induced_subgraph_mask_rows(gadget_mask)
+    from repro.graphs.triangles import find_triangle_in_rows
 
-    return find_triangle_among(edges) is not None
+    return find_triangle_in_rows(rows) is not None

@@ -140,7 +140,7 @@ class TestInterop:
         assert Graph(3) != Graph(4)
 
     def test_repr(self):
-        assert repr(Graph(3, [(0, 1)])) == "Graph(n=3, m=1)"
+        assert repr(Graph(3, [(0, 1)])) == "Graph(n=3, m=1, backend='bigint')"
 
     def test_to_networkx(self):
         graph = Graph(4, [(0, 1), (1, 2)])
