@@ -16,6 +16,7 @@ produce identical records.
 
 from __future__ import annotations
 
+import logging
 import statistics
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -32,6 +33,8 @@ from repro.runtime import (
 )
 
 __all__ = ["SweepPoint", "SweepResult", "run_sweep", "default_instance"]
+
+_LOGGER = logging.getLogger(__name__)
 
 ProtocolFn = Callable[[EdgePartition, int], DetectionResult]
 InstanceFn = Callable[[int, float, int], EdgePartition]
@@ -137,7 +140,9 @@ def run_sweep(protocol: ProtocolFn, instance_fn: InstanceFn,
               executor: Executor | None = None,
               cache: InstanceCache | None = None,
               instance_key: str | None = None,
-              metrics=None) -> SweepResult:
+              metrics=None,
+              batch: bool = True,
+              shared_instances: bool = False) -> SweepResult:
     """Run ``protocol`` at every (n, d, k) grid point, ``trials`` seeds each.
 
     ``instance_fn(n, d, seed)`` must honour k itself (close over it); the
@@ -159,13 +164,29 @@ def run_sweep(protocol: ProtocolFn, instance_fn: InstanceFn,
     metrics:
         ``(spec, instance, outcome) -> dict`` recorded per trial into
         ``SweepResult.records[...].extras``.
+    batch:
+        ``True`` (default) runs each grid point as one batch — instances
+        built once per batch, coins from one batched construction.
+        ``False`` is the historical per-trial path, kept as the
+        differential reference.  Records are identical either way.
+    shared_instances:
+        ``True`` runs all of a grid point's trials against *one*
+        instance (fresh coins per trial) instead of a fresh instance per
+        trial — a different, much cheaper experiment.  Off by default;
+        records match earlier releases only when off.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
-    specs = build_specs(grid, trials, seed)
+    specs = build_specs(grid, trials, seed, shared_instances=shared_instances)
     records = run_trials(
         protocol, instance_fn, specs,
         workers=workers, executor=executor,
         cache=cache, instance_key=instance_key, metrics=metrics,
+        batch=batch,
     )
+    if cache is not None:
+        _LOGGER.debug(
+            "run_sweep cache stats (instance_key=%r): %s",
+            instance_key, cache.stats(),
+        )
     return _aggregate(grid, trials, records)

@@ -21,9 +21,11 @@ cost exactly when no triangle is ever found.
 Every row accepts ``workers=`` (process-pool width for its sweeps,
 ``None`` defers to the ``REPRO_WORKERS`` env var) and ``cache=`` (a
 shared :class:`~repro.runtime.cache.InstanceCache` so rows comparing
-protocols on the same construction reuse instances).  Rows whose
-measurement is not sweep-shaped accept both for harness uniformity and
-run serially.  Records are independent of ``workers``.
+protocols on the same construction reuse instances).  Every trial loop
+— the sweeps and the construction-shaped T1-R3 / T1-R6 loops alike —
+runs on the runtime executor path, batched per grid point; rows whose
+measurement has no trial axis accept both knobs for harness uniformity
+and run serially.  Records are independent of ``workers``.
 """
 
 from __future__ import annotations
@@ -32,11 +34,11 @@ import contextlib
 import math
 import statistics
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.analysis.experiments import run_sweep
 from repro.analysis.scaling import fit_axis
-from repro.runtime import InstanceCache, shared_cache
+from repro.runtime import InstanceCache, TrialSpec, run_trials, shared_cache
 from repro.comm.simultaneous import SimultaneousRun, run_simultaneous
 from repro.core.degree_approx import DegreeApproxParams
 from repro.core.exact_baseline import exact_triangle_detection
@@ -194,9 +196,10 @@ def row_unrestricted_upper(quick: bool = True, seed: int = 0, *,
         )
         return partition_disjoint(graph, k=k, seed=instance_seed + 1)
 
-    def protocol(partition: EdgePartition, run_seed: int):
+    def protocol(partition: EdgePartition, run_seed: int, *, shared=None):
         return find_triangle_unrestricted(
-            partition, tuned_unrestricted_params(k, d), seed=run_seed
+            partition, tuned_unrestricted_params(k, d), seed=run_seed,
+            shared=shared,
         )
 
     sweep = run_sweep(
@@ -228,7 +231,9 @@ def row_sim_low_upper(quick: bool = True, seed: int = 0, *,
     params = SimLowParams(epsilon=0.2, delta=0.2)
 
     sweep = run_sweep(
-        lambda partition, s: find_triangle_sim_low(partition, params, seed=s),
+        lambda partition, s, shared=None: find_triangle_sim_low(
+            partition, params, seed=s, shared=shared
+        ),
         far_disjoint_instance(epsilon=0.2, k=k), [(n, d, k) for n in ns],
         trials=3, seed=seed,
         workers=workers, cache=cache, instance_key=FAR_DISJOINT_KEY,
@@ -256,7 +261,9 @@ def row_sim_high_upper(quick: bool = True, seed: int = 0, *,
 
     grid = [(n, math.sqrt(n), k) for n in ns]
     sweep = run_sweep(
-        lambda partition, s: find_triangle_sim_high(partition, params, seed=s),
+        lambda partition, s, shared=None: find_triangle_sim_high(
+            partition, params, seed=s, shared=shared
+        ),
         far_disjoint_instance(epsilon=0.2, k=k), grid, trials=3, seed=seed,
         workers=workers, cache=cache, instance_key=FAR_DISJOINT_KEY,
     )
@@ -292,15 +299,17 @@ def row_oblivious(quick: bool = True, seed: int = 0, *,
         if cache is None:  # standalone call: provision a mode-matched cache
             cache = stack.enter_context(shared_cache(workers))
         aware = run_sweep(
-            lambda partition, s: find_triangle_sim_low(
-                partition, SimLowParams(epsilon=0.2, delta=0.2), seed=s
+            lambda partition, s, shared=None: find_triangle_sim_low(
+                partition, SimLowParams(epsilon=0.2, delta=0.2), seed=s,
+                shared=shared,
             ),
             instance, grid, trials=trials, seed=seed,
             workers=workers, cache=cache, instance_key=FAR_DISJOINT_KEY,
         )
         oblivious = run_sweep(
-            lambda partition, s: find_triangle_sim_oblivious(
-                partition, ObliviousParams(epsilon=0.2, delta=0.2), seed=s
+            lambda partition, s, shared=None: find_triangle_sim_oblivious(
+                partition, ObliviousParams(epsilon=0.2, delta=0.2), seed=s,
+                shared=shared,
             ),
             instance, grid, trials=trials, seed=seed,
             workers=workers, cache=cache, instance_key=FAR_DISJOINT_KEY,
@@ -387,14 +396,19 @@ class PlantedPatternBuilder:
 
 @dataclass(frozen=True)
 class PatternProtocol:
-    """Picklable ``(partition, seed) -> SubgraphDetectionResult``."""
+    """Picklable ``(partition, seed) -> SubgraphDetectionResult``.
+
+    Declares the ``shared`` seam so the batched engine hands it the
+    trial's pre-built coin stream (draw-identical to the stream it would
+    otherwise derive from ``seed``).
+    """
 
     pattern: SubgraphPattern
     params: SubgraphParams
 
-    def __call__(self, partition: EdgePartition, seed: int):
+    def __call__(self, partition: EdgePartition, seed: int, *, shared=None):
         return find_subgraph_simultaneous(
-            partition, self.pattern, self.params, seed=seed
+            partition, self.pattern, self.params, seed=seed, shared=shared
         )
 
 
@@ -444,14 +458,84 @@ def row_subgraph_patterns(quick: bool = True, seed: int = 0, *,
     )
 
 
+#: Cache keys of the migrated lower-bound loops (T1-R3 / T1-R6) — one
+#: per construction, like FAR_DISJOINT_KEY and friends above.
+MU_STREAM_KEY = "mu-stream-gamma1.2"
+BM_DICHOTOMY_KEY = "bm-dichotomy"
+
+
+class _LoopOutcome(NamedTuple):
+    """Minimal runtime outcome for construction-shaped rows.
+
+    The lower-bound loops measure success rates, not communication, so
+    ``total_bits`` is fixed at zero; the runtime only requires the two
+    attributes to exist.
+    """
+
+    total_bits: float
+    found: bool
+
+
+def _loop_specs(trials: int, n: int, base_seed: int) -> list[TrialSpec]:
+    """Specs reproducing a historical ``for trial in range(trials)`` loop.
+
+    Seeds are ``base_seed + trial`` — exactly what the inline loops
+    passed — rather than runtime-derived, so migrated rows stay
+    byte-identical to their pre-runtime selves.
+    """
+    return [
+        TrialSpec(point_index=0, trial_index=trial, n=n, d=0.0, k=1,
+                  seed=base_seed + trial)
+        for trial in range(trials)
+    ]
+
+
+@dataclass(frozen=True)
+class _MuSampleBuilder:
+    """Picklable ``(n, d, seed) -> µ sample`` builder for T1-R3."""
+
+    part_size: int
+    gamma: float = 1.2
+
+    def __call__(self, n: int, d: float, seed: int):
+        mu = MuDistribution(part_size=self.part_size, gamma=self.gamma)
+        return mu.sample(seed=seed)
+
+
+@dataclass(frozen=True)
+class _ReservoirStreamProtocol:
+    """Picklable reservoir-success check for one reservoir size.
+
+    The finder seed of the historical loop was ``base_seed + 31·trial``;
+    the trial index is recovered from the spec seed (specs carry
+    ``base_seed + trial``), keeping the streams bit-identical.
+    """
+
+    reservoir_size: int
+    base_seed: int
+
+    def __call__(self, sample, seed: int) -> _LoopOutcome:
+        if is_triangle_free(sample.graph):
+            return _LoopOutcome(0.0, True)  # nothing to find: vacuous success
+        trial = seed - self.base_seed
+        finder = ReservoirTriangleFinder(
+            sample.graph.n, reservoir_size=self.reservoir_size,
+            seed=self.base_seed + 31 * trial,
+        )
+        run = run_stream(finder, sorted(sample.graph.edges()))
+        return _LoopOutcome(0.0, run.result is not None)
+
+
 def row_oneway_streaming_lower(quick: bool = True, seed: int = 0, *,
                                workers: int | None = None,
                                cache: InstanceCache | None = None
                                ) -> RowReport:
     """T1-R3: one-way / streaming hardness evidence on µ.
 
-    Construction-shaped (not a protocol sweep): ``workers``/``cache``
-    are accepted for harness uniformity; the measurement runs serially.
+    The trial loop runs on the runtime executor path (``workers=`` /
+    ``REPRO_WORKERS`` and batching apply); µ samples are cached under
+    ``MU_STREAM_KEY`` so the escalating reservoir sizes re-test the same
+    samples without re-drawing them.
 
     The Ω((nd)^{1/6}) bound (Ω(n^{1/4}) at d = Θ(sqrt n)) cannot be
     measured directly; we run the reservoir streaming finder on µ samples
@@ -460,23 +544,22 @@ def row_oneway_streaming_lower(quick: bool = True, seed: int = 0, *,
     """
     trials = 10 if quick else 20
     reservoir_sizes = [2, 4, 8, 16, 32, 64, 128, 256]
+    # A row-local cache still pays off (samples reused across reservoir
+    # sizes) when the harness does not pass a shared one.
+    sample_cache = cache if cache is not None else InstanceCache()
 
     def needed_space(part_size: int) -> int:
         mu = MuDistribution(part_size=part_size, gamma=1.2)
+        builder = _MuSampleBuilder(part_size=part_size)
+        specs = _loop_specs(trials, mu.n, seed)
         for size in reservoir_sizes:
-            successes = 0
-            for trial in range(trials):
-                sample = mu.sample(seed=seed + trial)
-                if is_triangle_free(sample.graph):
-                    successes += 1  # nothing to find: vacuous success
-                    continue
-                finder = ReservoirTriangleFinder(
-                    sample.graph.n, reservoir_size=size,
-                    seed=seed + 31 * trial,
-                )
-                run = run_stream(finder, sorted(sample.graph.edges()))
-                if run.result is not None:
-                    successes += 1
+            results = run_trials(
+                _ReservoirStreamProtocol(size, seed), builder, specs,
+                workers=workers, cache=sample_cache,
+                instance_key=f"{MU_STREAM_KEY}:{part_size}",
+                batch=True,
+            )
+            successes = sum(1 for r in results if r.found)
             if successes / trials >= 0.5:
                 return size
         return reservoir_sizes[-1]
@@ -599,32 +682,50 @@ def row_symmetrization(quick: bool = True, seed: int = 0, *,
     )
 
 
+@dataclass(frozen=True)
+class _BMPairBuilder:
+    """Picklable ``(n, d, seed) -> BM zeros/ones reduction pair`` (T1-R6)."""
+
+    def __call__(self, n: int, d: float, seed: int):
+        zeros = sample_bm_instance(n, "zeros", seed=seed)
+        ones = sample_bm_instance(n, "ones", seed=seed)
+        graph_zeros, _, _ = reduction_graph(zeros)
+        graph_ones, _, _ = reduction_graph(ones)
+        return (n, zeros, graph_zeros, ones, graph_ones)
+
+
+def _bm_dichotomy_protocol(instance, seed: int) -> _LoopOutcome:
+    """Check the T1-R6 dichotomy on one prepared zeros/ones pair."""
+    n, zeros, graph_zeros, ones, graph_ones = instance
+    zero_ok = (
+        all(bit == 0 for bit in bm_product(zeros))
+        and len(greedy_triangle_packing(graph_zeros)) == n
+    )
+    one_ok = (
+        all(bit == 1 for bit in bm_product(ones))
+        and is_triangle_free(graph_ones)
+    )
+    return _LoopOutcome(0.0, zero_ok and one_ok)
+
+
 def row_bm_lower(quick: bool = True, seed: int = 0, *,
                  workers: int | None = None,
                  cache: InstanceCache | None = None) -> RowReport:
     """T1-R6: the BM reduction dichotomy behind the Omega(sqrt n) bound.
 
-    ``workers``/``cache`` accepted for harness uniformity; the dichotomy
-    check runs serially.
+    The trial loop runs on the runtime executor path (``workers=`` /
+    ``REPRO_WORKERS`` and batching apply); reduction pairs are cached
+    under ``BM_DICHOTOMY_KEY``.
     """
     n = 24 if quick else 64
     trials = 10 if quick else 40
-    verified = 0
-    for trial in range(trials):
-        zeros = sample_bm_instance(n, "zeros", seed=seed + trial)
-        ones = sample_bm_instance(n, "ones", seed=seed + trial)
-        graph_zeros, _, _ = reduction_graph(zeros)
-        graph_ones, _, _ = reduction_graph(ones)
-        zero_ok = (
-            all(bit == 0 for bit in bm_product(zeros))
-            and len(greedy_triangle_packing(graph_zeros)) == n
-        )
-        one_ok = (
-            all(bit == 1 for bit in bm_product(ones))
-            and is_triangle_free(graph_ones)
-        )
-        if zero_ok and one_ok:
-            verified += 1
+    results = run_trials(
+        _bm_dichotomy_protocol, _BMPairBuilder(),
+        _loop_specs(trials, n, seed),
+        workers=workers, cache=cache, instance_key=BM_DICHOTOMY_KEY,
+        batch=True,
+    )
+    verified = sum(1 for r in results if r.found)
     return RowReport(
         row_id="T1-R6",
         description="triangle-freeness, simultaneous, d=Theta(1), lower",

@@ -396,15 +396,29 @@ class Player:
 def make_players(partition) -> list[Player]:
     """Build the k Player objects of an :class:`EdgePartition`.
 
-    Adjacency rows come from the partition's per-player cache, so building
-    players for repeated trials on the same partition is O(k) after the
-    first call instead of re-shredding every edge view.
+    The player list itself is memoized on the partition (players are
+    read-only views over the partition's cached adjacency rows, and
+    their internal caches memoize pure functions of those rows), so the
+    repetition axis of a batched grid point shares one set of Player
+    objects — repeated trials pay nothing for player construction or row
+    re-shredding.
     """
+    cached = getattr(partition, "_players_cache", None)
+    if cached is not None:
+        return cached
     n = partition.graph.n
-    return [
+    players = [
         Player(
             j, n, rows=partition.adjacency_rows(j),
             num_edges=partition.view_edge_count(j),
         )
         for j in range(partition.k)
     ]
+    try:
+        # EdgePartition is a frozen dataclass; the same backdoor its own
+        # rows cache uses.  Duck-typed partitions without settable
+        # attributes simply skip the memo.
+        object.__setattr__(partition, "_players_cache", players)
+    except (AttributeError, TypeError):
+        pass
+    return players

@@ -11,6 +11,22 @@ them without exchanging bits.
 Determinism contract: two ``SharedRandomness`` instances created with the
 same seed produce identical sample sequences, which is what makes protocol
 runs reproducible end to end.
+
+Two execution paths honour that contract:
+
+* the **scalar** reference path draws one index at a time from
+  ``random.Random`` (the historical implementation, always available);
+* the **vectorized** path transplants the very same MT19937 state into a
+  ``numpy.random.RandomState`` — both generators build 53-bit doubles
+  from identical word pairs — and replays the geometric-skipping
+  recurrence as array operations.  Selected indices are equal element
+  for element, so masks are byte-identical; the path is taken
+  automatically for draws big enough to amortize the state transplant
+  and degrades to scalar whenever numpy is unavailable.
+
+:meth:`SharedRandomness.batch` is the batched construction the trial
+runtime uses: one call yields every trial's coin stream for a grid
+point, each stream provably identical to ``SharedRandomness(seed)``.
 """
 
 from __future__ import annotations
@@ -19,7 +35,19 @@ import math
 import random
 from typing import Iterable, Iterator, Sequence
 
+try:  # the vectorized draw path is optional — scalar is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the forced-off knob
+    _np = None
+
 __all__ = ["SharedRandomness"]
+
+#: Words in an MT19937 state vector (shared by random.Random and numpy).
+_MT_STATE_WORDS = 624
+
+#: Expected selected-index count below which the scalar loop beats the
+#: numpy path (the state transplant costs a fixed ~tens of microseconds).
+_VECTOR_MIN_EXPECTED = 128
 
 # A large prime used to build per-call independent sub-streams from
 # (seed, tag) pairs without materializing n! permutations.
@@ -61,6 +89,74 @@ def _geometric_indices(local: random.Random, universe_size: int,
         yield index
 
 
+def _numpy_stream(local: random.Random) -> "_np.random.RandomState":
+    """A numpy RandomState continuing ``local``'s exact MT19937 stream.
+
+    Both generators assemble doubles as ``((a >> 5) * 2^26 + (b >> 6)) /
+    2^53`` from consecutive 32-bit outputs, so after the transplant
+    ``stream.random_sample(k)`` equals ``[local.random()] * k`` draw for
+    draw.  ``local`` itself is left untouched — callers only transplant
+    throwaway sub-stream generators.
+    """
+    state = local.getstate()[1]
+    stream = _np.random.RandomState()
+    stream.set_state(
+        ("MT19937",
+         _np.asarray(state[:_MT_STATE_WORDS], dtype=_np.uint32),
+         state[_MT_STATE_WORDS])
+    )
+    return stream
+
+
+def _geometric_indices_array(local: random.Random, universe_size: int,
+                             probability: float) -> "_np.ndarray":
+    """:func:`_geometric_indices` as one vectorized pass, equal output.
+
+    Uniform draws come in chunks from the transplanted stream; gaps,
+    cumulative positions, and the two termination conditions (a gap at
+    least the universe, or a position past it) are array expressions.
+    Gap entries at or beyond the terminator carry clamped garbage, but
+    the first terminator cuts them off before they are emitted —
+    exactly where the scalar generator returns.
+    """
+    log_q = math.log1p(-probability)
+    if log_q == 0.0:
+        return _np.empty(0, dtype=_np.int64)
+    stream = _numpy_stream(local)
+    chunks: list["_np.ndarray"] = []
+    index = -1
+    # Expected draw count is ~p·n + 1; the first chunk covers it with
+    # slack so one pass almost always suffices.
+    chunk = max(32, int(probability * universe_size * 1.25) + 16)
+    while True:
+        raw = _np.log(
+            _np.maximum(stream.random_sample(chunk), 1e-300)
+        ) / log_q
+        overshoot = raw >= universe_size
+        steps = _np.where(
+            overshoot, 1,
+            _np.minimum(raw, universe_size).astype(_np.int64) + 1,
+        )
+        positions = index + _np.cumsum(steps)
+        terminal = _np.nonzero(overshoot | (positions >= universe_size))[0]
+        if terminal.size:
+            chunks.append(positions[: terminal[0]])
+            break
+        chunks.append(positions)
+        index = int(positions[-1])
+        chunk = 64
+    return chunks[0] if len(chunks) == 1 else _np.concatenate(chunks)
+
+
+def _mask_from_index_array(indices: "_np.ndarray", universe_size: int) -> int:
+    """:func:`_mask_from_indices` for an index array: packbits assembly."""
+    bits = _np.zeros(universe_size, dtype=_np.bool_)
+    bits[indices] = True
+    return int.from_bytes(
+        _np.packbits(bits, bitorder="little").tobytes(), "little"
+    )
+
+
 class SharedRandomness:
     """Public-coin source shared by all parties of a protocol.
 
@@ -69,16 +165,40 @@ class SharedRandomness:
     seed:
         Seed of the public random string.  Protocol executions with equal
         seeds are bitwise identical.
+    vectorized:
+        ``None`` (default) lets big subset draws take the numpy path when
+        numpy is importable; ``False`` forces the scalar reference path;
+        ``True`` insists on numpy and raises without it.  All settings
+        produce identical samples — the knob only trades implementations.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, *, vectorized: bool | None = None) -> None:
+        if vectorized and _np is None:  # pragma: no cover - numpy is baked in
+            raise RuntimeError("vectorized draws requested but numpy is missing")
         self._seed = seed
         self._rng = random.Random(seed)
         self._draws = 0
+        self._vectorized = (_np is not None) if vectorized is None else vectorized
 
     @property
     def seed(self) -> int:
         return self._seed
+
+    @classmethod
+    def batch(cls, seeds: Sequence[int], *,
+              vectorized: bool | None = None) -> list["SharedRandomness"]:
+        """One coin stream per seed — the grid-point batched construction.
+
+        Each returned instance is draw-for-draw identical to
+        ``SharedRandomness(seed)``: a protocol run against stream ``i``
+        produces the same record as a fresh per-trial run with
+        ``seeds[i]``, which is what keeps the batched execution path
+        byte-identical to the per-trial one.  The heavy per-draw work
+        (the geometric-skipping subset recurrence) runs vectorized, so a
+        whole batch's public coins amount to one numpy pass per draw
+        rather than per-element scalar loops.
+        """
+        return [cls(seed, vectorized=vectorized) for seed in seeds]
 
     def fork(self, tag: int) -> "SharedRandomness":
         """An independent public sub-stream labelled by ``tag``.
@@ -179,6 +299,14 @@ class SharedRandomness:
             return 0
         if probability == 1.0:
             return (1 << universe_size) - 1
+        if (
+            self._vectorized
+            and probability * universe_size >= _VECTOR_MIN_EXPECTED
+        ):
+            return _mask_from_index_array(
+                _geometric_indices_array(local, universe_size, probability),
+                universe_size,
+            )
         return _mask_from_indices(
             _geometric_indices(local, universe_size, probability),
             universe_size,

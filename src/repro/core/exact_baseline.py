@@ -27,11 +27,13 @@ from repro.graphs.triangles import find_triangle_in_rows
 __all__ = ["exact_triangle_detection", "exact_triangle_detection_blackboard"]
 
 
-def exact_triangle_detection(partition: EdgePartition) -> DetectionResult:
+def exact_triangle_detection(partition: EdgePartition, *,
+                             record_messages: bool = False) -> DetectionResult:
     """Deterministic exact detection: everyone sends everything.
 
     Simultaneous, zero-error.  Communication Θ(Σ_j |E_j| · log n) —
-    the Ω(k·nd) regime when edges are duplicated.
+    the Ω(k·nd) regime when edges are duplicated.  ``record_messages``
+    retains the per-message transcript in ``details["transcript"]``.
     """
     players = make_players(partition)
     n = partition.graph.n
@@ -45,6 +47,7 @@ def exact_triangle_detection(partition: EdgePartition) -> DetectionResult:
         message_bits=lambda edges: max(1, len(edges) * edge_bits(n)),
         referee_fn=referee_fn,
         label="exact-baseline",
+        record_messages=record_messages,
     )
     triangle = run.output
     return DetectionResult(
@@ -60,22 +63,36 @@ def exact_triangle_detection(partition: EdgePartition) -> DetectionResult:
             )
         ),
         cost=run.ledger.summary(),
-        details={"exact": True},
+        details={
+            "exact": True,
+            **(
+                {"transcript": run.ledger.records}
+                if record_messages else {}
+            ),
+        },
     )
 
 
-def exact_triangle_detection_blackboard(partition: EdgePartition
-                                        ) -> DetectionResult:
+def exact_triangle_detection_blackboard(
+    partition: EdgePartition, *,
+    record_messages: bool = False,
+) -> DetectionResult:
     """Exact detection on a blackboard: each distinct edge posted once.
 
     Communication Θ(|E| · log n) — duplication no longer hurts, but the
     linear-in-|E| cost remains, which is what testing escapes.
+    ``record_messages`` retains the transcript in
+    ``details["transcript"]``.
     """
     from repro.comm.blackboard import BlackboardRuntime
+    from repro.comm.ledger import CommunicationLedger
 
     players = make_players(partition)
     n = partition.graph.n
-    rt = BlackboardRuntime(players)
+    rt = BlackboardRuntime(
+        players,
+        ledger=CommunicationLedger(record_messages=record_messages),
+    )
     # Row harvests: each player's whole view is its adjacency rows, so
     # fresh-edge computation and the final search are both word-wide.
     rt.post_rows_in_turns(
@@ -97,5 +114,12 @@ def exact_triangle_detection_blackboard(partition: EdgePartition
             )
         ),
         cost=rt.ledger.summary(),
-        details={"exact": True, "blackboard": True},
+        details={
+            "exact": True,
+            "blackboard": True,
+            **(
+                {"transcript": rt.ledger.records}
+                if record_messages else {}
+            ),
+        },
     )

@@ -97,17 +97,22 @@ def find_triangle_sim_oblivious(
     seed: int = 0,
     *,
     player_factory=make_players,
+    shared: SharedRandomness | None = None,
+    record_messages: bool = False,
 ) -> DetectionResult:
     """Run Algorithm 11: simultaneous triangle detection, d unknown.
 
     ``player_factory`` swaps the player backend (mask-native by default;
     :func:`repro.comm.reference.make_set_players` for differential runs).
+    ``shared`` injects a pre-built coin stream (the batched engine passes
+    one draw-identical to ``SharedRandomness(seed)``); ``record_messages``
+    retains the per-message transcript in ``details["transcript"]``.
     """
     params = params or ObliviousParams()
     players = player_factory(partition)
     n = partition.graph.n
     k = len(players)
-    shared = SharedRandomness(seed)
+    shared = shared if shared is not None else SharedRandomness(seed)
     sqrt_n = math.sqrt(n)
 
     # Public per-guess sample masks, agreed through the shared coins.  R
@@ -188,6 +193,7 @@ def find_triangle_sim_oblivious(
         referee_fn=referee_fn,
         shared=shared,
         label="sim-oblivious",
+        record_messages=record_messages,
     )
     triangle, winning_guess = run.output
     return DetectionResult(
@@ -207,5 +213,9 @@ def find_triangle_sim_oblivious(
             "winning_guess_index": winning_guess,
             "num_guesses": top_guess + 1,
             "birthday_sample_size": birthday.bit_count(),
+            **(
+                {"transcript": run.ledger.records}
+                if record_messages else {}
+            ),
         },
     )

@@ -84,11 +84,16 @@ def find_triangle_sim_high(
     seed: int = 0,
     *,
     player_factory=make_players,
+    shared: SharedRandomness | None = None,
+    record_messages: bool = False,
 ) -> DetectionResult:
     """Run the high-degree simultaneous tester on a partitioned input.
 
     ``player_factory`` swaps the player backend (mask-native by default;
     :func:`repro.comm.reference.make_set_players` for differential runs).
+    ``shared`` injects a pre-built coin stream (the batched engine passes
+    one draw-identical to ``SharedRandomness(seed)``); ``record_messages``
+    retains the per-message transcript in ``details["transcript"]``.
     """
     params = params or SimHighParams()
     players = player_factory(partition)
@@ -98,7 +103,7 @@ def find_triangle_sim_high(
         if params.known_average_degree is not None
         else partition.graph.average_degree()
     )
-    shared = SharedRandomness(seed)
+    shared = shared if shared is not None else SharedRandomness(seed)
     size = params.sample_size(n, d)
     if params.bernoulli_sampling:
         sample = shared.bernoulli_subset_mask(
@@ -127,6 +132,7 @@ def find_triangle_sim_high(
         referee_fn=referee_fn,
         shared=shared,
         label="sim-high",
+        record_messages=record_messages,
     )
     triangle = run.output
     return DetectionResult(
@@ -146,5 +152,9 @@ def find_triangle_sim_high(
             "sample_size": size,
             "edge_cap": cap,
             "average_degree_used": d,
+            **(
+                {"transcript": run.ledger.records}
+                if record_messages else {}
+            ),
         },
     )

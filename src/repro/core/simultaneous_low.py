@@ -91,11 +91,17 @@ def find_triangle_sim_low(
     seed: int = 0,
     *,
     player_factory=make_players,
+    shared: SharedRandomness | None = None,
+    record_messages: bool = False,
 ) -> DetectionResult:
     """Run the low-degree simultaneous tester on a partitioned input.
 
     ``player_factory`` swaps the player backend (mask-native by default;
     :func:`repro.comm.reference.make_set_players` for differential runs).
+    ``shared`` injects a pre-built coin stream (the batched engine passes
+    one draw-identical to ``SharedRandomness(seed)``); ``record_messages``
+    retains the per-message transcript in ``details["transcript"]`` —
+    left off, nothing beyond aggregate counters is ever materialized.
     """
     params = params or SimLowParams()
     players = player_factory(partition)
@@ -105,7 +111,7 @@ def find_triangle_sim_low(
         if params.known_average_degree is not None
         else partition.graph.average_degree()
     )
-    shared = SharedRandomness(seed)
+    shared = shared if shared is not None else SharedRandomness(seed)
     dense_catcher = shared.bernoulli_subset_mask(
         n, params.p_dense_catcher(d), tag=1
     )
@@ -134,6 +140,7 @@ def find_triangle_sim_low(
         referee_fn=referee_fn,
         shared=shared,
         label="sim-low",
+        record_messages=record_messages,
     )
     triangle = run.output
     return DetectionResult(
@@ -155,5 +162,9 @@ def find_triangle_sim_low(
             "sample_sizes": (dense_catcher.bit_count(), birthday.bit_count()),
             "edge_cap": cap,
             "average_degree_used": d,
+            **(
+                {"transcript": run.ledger.records}
+                if record_messages else {}
+            ),
         },
     )

@@ -126,6 +126,8 @@ def find_subgraph_simultaneous(
     *,
     player_factory=make_players,
     matcher: Callable = find_copy_in_rows,
+    shared: SharedRandomness | None = None,
+    record_messages: bool = False,
 ) -> SubgraphDetectionResult:
     """One-shot simultaneous H-detection with one-sided error.
 
@@ -135,6 +137,9 @@ def find_subgraph_simultaneous(
     canonical-first engine by default;
     :func:`repro.patterns.reference.find_copy_in_rows_reference` runs
     the preserved networkx VF2 matcher on the same rows union).
+    ``shared`` injects a pre-built coin stream (the batched engine passes
+    one draw-identical to ``SharedRandomness(seed)``); ``record_messages``
+    retains the per-message transcript in ``details["transcript"]``.
     """
     params = params or SubgraphParams()
     players = player_factory(partition)
@@ -144,7 +149,7 @@ def find_subgraph_simultaneous(
         if params.known_average_degree is not None
         else partition.graph.average_degree()
     )
-    shared = SharedRandomness(seed)
+    shared = shared if shared is not None else SharedRandomness(seed)
     p = params.sample_probability(n, d, pattern)
     samples = [
         shared.bernoulli_subset_mask(n, p, tag=100 + r)
@@ -176,6 +181,7 @@ def find_subgraph_simultaneous(
         players, message_fn=message_fn, message_bits=message_bits,
         referee_fn=referee_fn, shared=shared,
         label=f"sim-{pattern.name}",
+        record_messages=record_messages,
     )
     copy, winning_round = run.output
     found = copy is not None
@@ -195,5 +201,9 @@ def find_subgraph_simultaneous(
             "sample_probability": p,
             "rounds": params.rounds,
             "winning_round": winning_round,
+            **(
+                {"transcript": run.ledger.records}
+                if record_messages else {}
+            ),
         },
     )

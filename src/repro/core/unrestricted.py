@@ -36,6 +36,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.comm.coordinator import CoordinatorRuntime
+from repro.comm.ledger import CommunicationLedger
 from repro.comm.encoding import (
     edge_bits,
     elias_gamma_bits,
@@ -149,6 +150,8 @@ def find_triangle_unrestricted(
     seed: int = 0,
     *,
     player_factory=make_players,
+    shared: SharedRandomness | None = None,
+    record_messages: bool = False,
 ) -> DetectionResult:
     """Run FindTriangle (Algorithm 6) on a partitioned input.
 
@@ -159,11 +162,17 @@ def find_triangle_unrestricted(
 
     ``player_factory`` swaps the player backend (mask-native by default;
     :func:`repro.comm.reference.make_set_players` for differential runs).
+    ``shared`` injects a pre-built coin stream (the batched engine passes
+    one draw-identical to ``SharedRandomness(seed)``); ``record_messages``
+    retains the per-message transcript in ``details["transcript"]``.
     """
     params = params or UnrestrictedParams()
     players = player_factory(partition)
-    shared = SharedRandomness(seed)
-    rt = CoordinatorRuntime(players, shared=shared)
+    shared = shared if shared is not None else SharedRandomness(seed)
+    rt = CoordinatorRuntime(
+        players, shared=shared,
+        ledger=CommunicationLedger(record_messages=record_messages),
+    )
     n = rt.n
     k = rt.k
 
@@ -183,9 +192,12 @@ def find_triangle_unrestricted(
         widen = 1.0
     if d <= 0:
         # An empty graph is triangle-free; nothing to look for.
+        details = {"reason": "empty graph"}
+        if record_messages:
+            details["transcript"] = rt.ledger.records
         return DetectionResult(
             found=False, triangle=None, cost=rt.ledger.summary(),
-            details={"reason": "empty graph"},
+            details=details,
         )
 
     thresholds = degree_thresholds(n, d, params.epsilon)
@@ -220,6 +232,8 @@ def find_triangle_unrestricted(
             )
             if triangle is not None:
                 details["found_at_bucket"] = bucket
+                if record_messages:
+                    details["transcript"] = rt.ledger.records
                 return DetectionResult(
                     found=True,
                     triangle=triangle,
@@ -227,6 +241,8 @@ def find_triangle_unrestricted(
                     cost=rt.ledger.summary(),
                     details=details,
                 )
+    if record_messages:
+        details["transcript"] = rt.ledger.records
     return DetectionResult(
         found=False, triangle=None, cost=rt.ledger.summary(), details=details
     )

@@ -28,12 +28,20 @@ from repro.runtime.executor import (
     shared_cache,
 )
 from repro.runtime.seeding import derive_seed
-from repro.runtime.spec import TrialResult, TrialSpec, build_specs
+from repro.runtime.spec import (
+    TrialBatch,
+    TrialResult,
+    TrialSpec,
+    batch_specs,
+    build_specs,
+)
 
 __all__ = [
     "TrialSpec",
     "TrialResult",
+    "TrialBatch",
     "build_specs",
+    "batch_specs",
     "derive_seed",
     "InstanceCache",
     "TrialTask",

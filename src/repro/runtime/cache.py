@@ -29,6 +29,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Hashable
@@ -114,6 +115,8 @@ class InstanceCache:
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.builds = 0
+        self.build_seconds = 0.0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -139,7 +142,10 @@ class InstanceCache:
             self._store_memory(key, value)
             return value
         self.misses += 1
+        start = time.perf_counter()
         value = builder()
+        self.builds += 1
+        self.build_seconds += time.perf_counter() - start
         self._store_memory(key, value)
         if path is not None:
             # Per-writer tmp file + atomic rename: concurrent builders of
@@ -164,13 +170,24 @@ class InstanceCache:
             self._entries.popitem(last=False)
 
     def stats(self) -> dict:
+        """Counter snapshot — the capacity signal sweeps log.
+
+        ``builds``/``build_seconds`` isolate real construction work from
+        bookkeeping: a miss served from the disk tier counts as a hit,
+        so ``builds`` is exactly the number of times ``builder()`` ran
+        and ``build_seconds`` the wall-clock it consumed.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._entries),
+            "builds": self.builds,
+            "build_seconds": self.build_seconds,
         }
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.builds = 0
+        self.build_seconds = 0.0

@@ -26,6 +26,14 @@ and supports every start method:
 
 Either way the records are byte-identical to serial execution: each
 trial's randomness is fully determined by its spec's derived seed.
+
+The **batched** path (``run_trials(..., batch=True)``) regroups specs
+into per-grid-point :class:`~repro.runtime.spec.TrialBatch` units and
+runs each through :meth:`TrialTask.run_batch`, which builds (or
+cache-fetches) each distinct instance once per batch and reuses it
+across the repetition axis.  Parallel sharding is by whole batch, so
+instance reuse never crosses a process boundary and the records stay
+byte-identical to per-trial execution in either engine.
 """
 
 from __future__ import annotations
@@ -38,11 +46,13 @@ import multiprocessing
 import os
 import pickle
 import tempfile
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.comm.randomness import SharedRandomness
 from repro.runtime.cache import InstanceCache
-from repro.runtime.spec import TrialResult, TrialSpec
+from repro.runtime.spec import TrialBatch, TrialResult, TrialSpec, batch_specs
 
 __all__ = [
     "TrialTask",
@@ -99,14 +109,23 @@ class TrialTask:
             self._pass_k = "k" in parameters
         except (TypeError, ValueError):  # builtins / C callables
             self._pass_k = False
+        try:
+            parameters = inspect.signature(protocol).parameters
+            self._pass_shared = "shared" in parameters
+        except (TypeError, ValueError):  # builtins / C callables
+            self._pass_shared = False
 
     def cache_key(self, spec: TrialSpec) -> tuple:
-        return (self.instance_key, spec.n, spec.d, spec.k, spec.seed)
+        return (
+            self.instance_key, spec.n, spec.d, spec.k,
+            spec.effective_instance_seed,
+        )
 
     def _build(self, spec: TrialSpec) -> object:
+        seed = spec.effective_instance_seed
         if self._pass_k:
-            return self.instance_fn(spec.n, spec.d, spec.seed, k=spec.k)
-        return self.instance_fn(spec.n, spec.d, spec.seed)
+            return self.instance_fn(spec.n, spec.d, seed, k=spec.k)
+        return self.instance_fn(spec.n, spec.d, seed)
 
     def build_instance(self, spec: TrialSpec) -> object:
         if self.cache is not None and self.instance_key is not None:
@@ -128,6 +147,51 @@ class TrialTask:
             found=outcome.found,
             extras=extras,
         )
+
+    def run_batch(self, batch: TrialBatch) -> list[TrialResult]:
+        """Run one grid point's trials against batch-local instances.
+
+        Each distinct instance key is built (or cache-fetched) exactly
+        once for the whole batch; with per-trial instance seeds the
+        local map never coalesces anything and the path degenerates to
+        the per-trial one.  Protocols that declare a ``shared`` keyword
+        receive their coin stream from one batched
+        :meth:`~repro.comm.randomness.SharedRandomness.batch`
+        construction — draw-for-draw identical to the stream they would
+        build internally from the spec seed, so outcomes are unchanged.
+        """
+        streams: Sequence[SharedRandomness | None]
+        if self._pass_shared:
+            streams = SharedRandomness.batch(
+                [spec.seed for spec in batch.specs]
+            )
+        else:
+            streams = [None] * len(batch.specs)
+        local: dict[tuple, object] = {}
+        results: list[TrialResult] = []
+        for spec, stream in zip(batch.specs, streams):
+            key = self.cache_key(spec)
+            try:
+                instance = local[key]
+            except KeyError:
+                instance = local[key] = self.build_instance(spec)
+            if stream is not None:
+                outcome = self.protocol(instance, spec.seed, shared=stream)
+            else:
+                outcome = self.protocol(instance, spec.seed)
+            extras = (
+                self.metrics(spec, instance, outcome)
+                if self.metrics is not None else None
+            )
+            results.append(
+                TrialResult.from_outcome(
+                    spec,
+                    bits=outcome.total_bits,
+                    found=outcome.found,
+                    extras=extras,
+                )
+            )
+        return results
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -158,6 +222,19 @@ class Executor(abc.ABC):
                    specs: Iterable[TrialSpec]) -> list[TrialResult]:
         """Execute every spec, returning results in spec order."""
 
+    def run_batches(self, task: TrialTask,
+                    batches: Iterable[TrialBatch]) -> list[TrialResult]:
+        """Execute per-point batches, returning results in batch order.
+
+        The default runs batches in-process one after another;
+        :class:`ParallelExecutor` overrides it to shard whole batches
+        across workers.
+        """
+        results: list[TrialResult] = []
+        for batch in batches:
+            results.extend(task.run_batch(batch))
+        return results
+
 
 class SerialExecutor(Executor):
     """In-process execution — the reference the parallel path must match."""
@@ -177,6 +254,12 @@ def _run_active_task(spec: TrialSpec) -> TrialResult:
     if _ACTIVE_TASK is None:
         raise RuntimeError("no active task in worker; pool misconfigured")
     return _ACTIVE_TASK(spec)
+
+
+def _run_active_batch(batch: TrialBatch) -> list[TrialResult]:
+    if _ACTIVE_TASK is None:
+        raise RuntimeError("no active task in worker; pool misconfigured")
+    return _ACTIVE_TASK.run_batch(batch)
 
 
 def _install_pickled_task(payload: bytes) -> None:
@@ -266,6 +349,36 @@ class ParallelExecutor(Executor):
         finally:
             _ACTIVE_TASK = None
 
+    def run_batches(self, task: TrialTask,
+                    batches: Iterable[TrialBatch]) -> list[TrialResult]:
+        global _ACTIVE_TASK
+        batch_list = list(batches)
+        workers = min(self.workers, len(batch_list))
+        if workers <= 1 or _ACTIVE_TASK is not None:
+            return super().run_batches(task, batch_list)
+        method = self._resolve_start_method()
+        pool_kwargs: dict = {}
+        if method != "fork":
+            try:
+                payload = pickle.dumps(task)
+            except Exception:
+                return super().run_batches(task, batch_list)
+            pool_kwargs = {
+                "initializer": _install_pickled_task,
+                "initargs": (payload,),
+            }
+        _ACTIVE_TASK = task
+        try:
+            context = multiprocessing.get_context(method)
+            with _PoolExecutor(max_workers=workers,
+                               mp_context=context, **pool_kwargs) as pool:
+                # A batch is already a coarse unit of work (a whole grid
+                # point), so no further chunking is needed.
+                nested = pool.map(_run_active_batch, batch_list, chunksize=1)
+                return [result for group in nested for result in group]
+        finally:
+            _ACTIVE_TASK = None
+
 
 @contextlib.contextmanager
 def shared_cache(workers: int | None = None,
@@ -297,9 +410,32 @@ def run_trials(protocol: ProtocolFn, instance_fn: InstanceFn,
                executor: Executor | None = None,
                cache: InstanceCache | None = None,
                instance_key: str | None = None,
-               metrics: MetricsFn | None = None) -> list[TrialResult]:
-    """One-call convenience: wrap the callables in a task and execute."""
+               metrics: MetricsFn | None = None,
+               batch: bool = False) -> list[TrialResult]:
+    """One-call convenience: wrap the callables in a task and execute.
+
+    ``batch=True`` routes through the per-grid-point batched engine
+    (instances built once per batch, coins from one batched
+    construction); ``batch=False`` is the per-trial reference path.
+    Both return the same records in the same (input spec) order.
+    """
     task = TrialTask(instance_fn, protocol, cache=cache,
                      instance_key=instance_key, metrics=metrics)
     chosen = executor if executor is not None else default_executor(workers)
-    return chosen.run_trials(task, specs)
+    if not batch:
+        return chosen.run_trials(task, specs)
+    spec_list = list(specs)
+    batches = batch_specs(spec_list)
+    flat = chosen.run_batches(task, batches)
+    if len(batches) <= 1:
+        return flat
+    # Results come back grouped by point; deal them back out in input
+    # spec order (a no-op for the usual point-major spec lists).
+    queues: dict[int, deque[TrialResult]] = {}
+    position = 0
+    for group in batches:
+        queues[group.point_index] = deque(
+            flat[position:position + len(group.specs)]
+        )
+        position += len(group.specs)
+    return [queues[spec.point_index].popleft() for spec in spec_list]

@@ -1,6 +1,8 @@
 """Unit tests for shared public randomness (repro.comm.randomness)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.comm.randomness import SharedRandomness
 
@@ -128,3 +130,150 @@ class TestSampling:
         shared = SharedRandomness(6)
         assert shared.randrange(10) in range(10)
         assert shared.choice([5, 6, 7]) in (5, 6, 7)
+
+
+class TestVectorizedEquivalence:
+    """The numpy-backed mask path is draw-identical to the scalar one.
+
+    Byte-identity of batched runs rests on this: whichever representation
+    a stream uses, every mask and every subsequent main-stream draw must
+    match the scalar reference bit for bit.
+    """
+
+    UNIVERSES = [0, 1, 7, 100, 2000, 4093]
+    PROBABILITIES = [0.0, 1e-12, 0.001, 0.05, 0.3, 0.9, 0.999999, 1.0]
+
+    def _pair(self, seed):
+        pytest.importorskip("numpy")
+        return (
+            SharedRandomness(seed, vectorized=False),
+            SharedRandomness(seed, vectorized=True),
+        )
+
+    def test_masks_identical_across_representations(self):
+        for seed in (0, 1, 17):
+            scalar, vector = self._pair(seed)
+            for universe in self.UNIVERSES:
+                for p in self.PROBABILITIES:
+                    assert scalar.bernoulli_subset_mask(
+                        universe, p, tag=3
+                    ) == vector.bernoulli_subset_mask(universe, p, tag=3)
+
+    def test_closed_forms_skip_vectorization(self):
+        scalar, vector = self._pair(5)
+        assert vector.bernoulli_subset_mask(64, 0.0, tag=1) == 0
+        assert vector.bernoulli_subset_mask(64, 1.0, tag=1) == (1 << 64) - 1
+        assert scalar.bernoulli_subset_mask(64, 1.0, tag=1) == (1 << 64) - 1
+
+    def test_denormal_probability(self):
+        scalar, vector = self._pair(9)
+        p = 5e-324  # smallest positive double: log1p(-p) == 0.0
+        assert scalar.bernoulli_subset_mask(10**6, p, tag=2) == 0
+        assert vector.bernoulli_subset_mask(10**6, p, tag=2) == 0
+
+    def test_forced_vector_path_matches_scalar(self, monkeypatch):
+        """Below-threshold draws take the scalar branch by default; force
+        the vector branch to prove equivalence there too."""
+        import repro.comm.randomness as rnd
+
+        pytest.importorskip("numpy")
+        for seed in (0, 3):
+            scalar = SharedRandomness(seed, vectorized=False)
+            monkeypatch.setattr(rnd, "_VECTOR_MIN_EXPECTED", 0)
+            vector = SharedRandomness(seed, vectorized=True)
+            for universe in (1, 13, 200):
+                for p in (0.001, 0.4, 0.97):
+                    assert scalar.bernoulli_subset_mask(
+                        universe, p, tag=7
+                    ) == vector.bernoulli_subset_mask(universe, p, tag=7)
+            monkeypatch.undo()
+
+    def test_main_stream_order_unaffected(self):
+        """Tagged mask draws must not perturb the main stream, whichever
+        backend produced them."""
+        scalar, vector = self._pair(11)
+        a = scalar.random()
+        scalar.bernoulli_subset_mask(4000, 0.3, tag=1)
+        vector.random()
+        vector.bernoulli_subset_mask(4000, 0.3, tag=1)
+        assert scalar.random() == vector.random()
+        assert a == SharedRandomness(11).random()
+
+    def test_vectorized_requires_numpy_guard(self):
+        import repro.comm.randomness as rnd
+
+        if rnd._np is None:
+            with pytest.raises(RuntimeError):
+                SharedRandomness(0, vectorized=True)
+        else:
+            SharedRandomness(0, vectorized=True)
+
+
+class TestBatchConstruction:
+    """SharedRandomness.batch(seeds) streams == per-seed construction."""
+
+    def test_batch_matches_individual_streams(self):
+        seeds = [0, 1, 2, 3, 1 << 40]
+        batched = SharedRandomness.batch(seeds)
+        assert len(batched) == len(seeds)
+        for seed, stream in zip(seeds, batched):
+            reference = SharedRandomness(seed)
+            assert stream.bernoulli_subset_mask(
+                500, 0.3, tag=4
+            ) == reference.bernoulli_subset_mask(500, 0.3, tag=4)
+            assert [stream.random() for _ in range(5)] == [
+                reference.random() for _ in range(5)
+            ]
+
+    def test_batch_streams_independent(self):
+        left, right = SharedRandomness.batch([1, 2])
+        assert left.random() != right.random()
+
+    def test_batch_vectorized_flag_propagates(self):
+        pytest.importorskip("numpy")
+        for stream in SharedRandomness.batch([0, 1], vectorized=True):
+            assert stream._vectorized
+
+    def test_empty_batch(self):
+        assert SharedRandomness.batch([]) == []
+
+
+class TestBatchHypothesis:
+    """Hypothesis pin: batch() equals per-seed construction on any seeds."""
+
+    @given(
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=2**63 - 1),
+            min_size=1, max_size=6,
+        ),
+        universe=st.integers(min_value=0, max_value=3000),
+        p=st.floats(min_value=0.0, max_value=1.0,
+                    allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_draw_equivalence(self, seeds, universe, p):
+        batched = SharedRandomness.batch(seeds)
+        for seed, stream in zip(seeds, batched):
+            reference = SharedRandomness(seed)
+            assert stream.bernoulli_subset_mask(
+                universe, p, tag=1
+            ) == reference.bernoulli_subset_mask(universe, p, tag=1)
+            assert stream.random() == reference.random()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        universe=st.integers(min_value=1, max_value=5000),
+        p=st.floats(min_value=1e-9, max_value=1.0,
+                    allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_scalar_equivalence(self, seed, universe, p):
+        import repro.comm.randomness as rnd
+
+        if rnd._np is None:
+            pytest.skip("numpy unavailable")
+        scalar = SharedRandomness(seed, vectorized=False)
+        vector = SharedRandomness(seed, vectorized=True)
+        assert scalar.bernoulli_subset_mask(
+            universe, p, tag=2
+        ) == vector.bernoulli_subset_mask(universe, p, tag=2)
