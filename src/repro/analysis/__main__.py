@@ -9,6 +9,11 @@ Options:
   --backend B  graph kernel backend (bigint, packed, auto); sets
                REPRO_GRAPH_BACKEND for this run — records are
                byte-identical across backends on pinned seeds
+  --journal-dir DIR  durably journal every sweep's completed trials to
+               per-sweep JSONL files under DIR (crash-safe)
+  --resume     with --journal-dir: skip trials already journaled by a
+               previous (possibly interrupted) run — records are
+               byte-identical to an uninterrupted run
 """
 
 from __future__ import annotations
@@ -54,7 +59,17 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("bigint", "packed", "auto"),
                         help="graph kernel backend "
                              "(sets REPRO_GRAPH_BACKEND for this run)")
+    parser.add_argument("--journal-dir", type=str, default=None,
+                        help="journal completed trials to per-sweep JSONL "
+                             "files under this directory (crash-safe)")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --journal-dir: skip trials already "
+                             "journaled by a previous run")
     args = parser.parse_args(argv)
+
+    if args.resume and args.journal_dir is None:
+        print("error: --resume requires --journal-dir", file=sys.stderr)
+        return 2
 
     if args.backend is not None:
         # Environment, not a threaded argument: sweeps re-resolve the
@@ -70,7 +85,9 @@ def main(argv: list[str] | None = None) -> int:
     quick = not args.full
     if args.row is None:
         print(generate_table1(quick=quick, seed=args.seed,
-                              workers=args.workers))
+                              workers=args.workers,
+                              journal_dir=args.journal_dir,
+                              resume=args.resume))
         return 0
     row_fn = ROWS_BY_ID.get(args.row.upper())
     if row_fn is None:
@@ -78,7 +95,9 @@ def main(argv: list[str] | None = None) -> int:
               + ", ".join(ROWS_BY_ID), file=sys.stderr)
         return 2
     print(row_fn(quick=quick, seed=args.seed,
-                 workers=args.workers).formatted())
+                 workers=args.workers,
+                 journal_dir=args.journal_dir,
+                 resume=args.resume).formatted())
     return 0
 
 

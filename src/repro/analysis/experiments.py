@@ -42,7 +42,14 @@ InstanceFn = Callable[[int, float, int], EdgePartition]
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One grid point's aggregated measurements."""
+    """One grid point's aggregated measurements.
+
+    ``errors`` counts trials whose supervised execution exhausted every
+    retry (``status != "ok"``); those records are excluded from the cost
+    and detection aggregates, and the point's ``detection_rate``
+    denominator shrinks accordingly.  Unsupervised sweeps always have
+    ``errors == 0``.
+    """
 
     n: int
     d: float
@@ -51,6 +58,7 @@ class SweepPoint:
     mean_bits: float
     detection_rate: float
     trials: int
+    errors: int = 0
 
 
 @dataclass
@@ -117,8 +125,13 @@ def _aggregate(grid: Sequence[tuple[int, float, int]], trials: int,
     result = SweepResult(records=records)
     for point_index, (n, d, k) in enumerate(grid):
         point = [r for r in records if r.point_index == point_index]
-        costs = [r.bits for r in point]
-        detections = sum(1 for r in point if r.found)
+        ok = [r for r in point if r.ok]
+        errors = len(point) - len(ok)
+        # Failed trials carry placeholder measurements (bits=0.0,
+        # found=False) and must not drag the aggregates; a point with
+        # zero surviving trials reports NaN costs rather than lying.
+        costs = [r.bits for r in ok] if ok else [float("nan")]
+        detections = sum(1 for r in ok if r.found)
         result.points.append(
             SweepPoint(
                 n=n,
@@ -126,8 +139,9 @@ def _aggregate(grid: Sequence[tuple[int, float, int]], trials: int,
                 k=k,
                 median_bits=statistics.median(costs),
                 mean_bits=statistics.fmean(costs),
-                detection_rate=detections / trials,
+                detection_rate=detections / len(ok) if ok else 0.0,
                 trials=trials,
+                errors=errors,
             )
         )
     return result
@@ -142,7 +156,11 @@ def run_sweep(protocol: ProtocolFn, instance_fn: InstanceFn,
               instance_key: str | None = None,
               metrics=None,
               batch: bool = True,
-              shared_instances: bool = False) -> SweepResult:
+              shared_instances: bool = False,
+              retry=None,
+              journal=None,
+              resume: bool = False,
+              fault_plan=None) -> SweepResult:
     """Run ``protocol`` at every (n, d, k) grid point, ``trials`` seeds each.
 
     ``instance_fn(n, d, seed)`` must honour k itself (close over it); the
@@ -174,6 +192,18 @@ def run_sweep(protocol: ProtocolFn, instance_fn: InstanceFn,
         instance (fresh coins per trial) instead of a fresh instance per
         trial — a different, much cheaper experiment.  Off by default;
         records match earlier releases only when off.
+    retry / journal / resume / fault_plan:
+        The fault-tolerance seams, passed straight through to
+        :func:`repro.runtime.executor.run_trials`: a
+        :class:`~repro.runtime.executor.RetryPolicy` for error capture,
+        timeouts and bounded retry; a
+        :class:`~repro.runtime.journal.RunJournal` (or path) durably
+        recording every completed trial; ``resume=True`` to skip specs
+        the journal already holds (byte-identical records to an
+        uninterrupted run); a
+        :class:`~repro.runtime.faults.FaultPlan` for deterministic
+        fault injection.  Any of them engages the supervised engine;
+        all default off, leaving historical behaviour untouched.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
@@ -183,10 +213,18 @@ def run_sweep(protocol: ProtocolFn, instance_fn: InstanceFn,
         workers=workers, executor=executor,
         cache=cache, instance_key=instance_key, metrics=metrics,
         batch=batch,
+        retry=retry, journal=journal, resume=resume, fault_plan=fault_plan,
     )
     if cache is not None:
         _LOGGER.debug(
             "run_sweep cache stats (instance_key=%r): %s",
             instance_key, cache.stats(),
+        )
+    failed = sum(1 for r in records if not r.ok)
+    if failed:
+        _LOGGER.warning(
+            "run_sweep: %d of %d trials failed permanently and are "
+            "excluded from aggregation (see SweepPoint.errors and the "
+            "records' error fields)", failed, len(records),
         )
     return _aggregate(grid, trials, records)

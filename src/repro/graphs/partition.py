@@ -13,6 +13,10 @@ several regimes the paper analyzes:
 * ``partition_all_to_all`` — worst-case duplication: everyone sees all edges.
 * ``partition_adversarial_skew`` — most edges to one player; stresses the
   "relevant player" analysis of the degree-oblivious protocol (§3.4.3).
+* ``partition_concentrate_edges`` — a *chosen* edge set (e.g. every
+  planted-triangle edge) to one player, the rest spread over the others;
+  the targeted adversary the failure-injection suite uses to probe
+  soundness when no single other player can witness a triangle.
 * ``partition_by_vertex`` — CONGEST-like vertex locality, as a contrast case
   explicitly *not* guaranteed by the model.
 
@@ -33,6 +37,7 @@ __all__ = [
     "partition_with_duplication",
     "partition_all_to_all",
     "partition_adversarial_skew",
+    "partition_concentrate_edges",
     "partition_by_vertex",
 ]
 
@@ -185,6 +190,39 @@ def partition_adversarial_skew(graph: Graph, k: int, seed: int = 0,
     buckets: list[set[Edge]] = [set() for _ in range(k)]
     for edge in graph.edges():
         if k == 1 or rng.random() < heavy_fraction:
+            buckets[0].add(edge)
+        else:
+            buckets[1 + rng.randrange(k - 1)].add(edge)
+    return EdgePartition(graph, tuple(frozenset(b) for b in buckets))
+
+
+def partition_concentrate_edges(graph: Graph, k: int,
+                                focus_edges, seed: int = 0) -> EdgePartition:
+    """Give all of ``focus_edges`` to player 0, the rest to players 1..k-1.
+
+    The targeted adversary: concentrating e.g. every planted-triangle
+    edge on a single player means no *other* player's view contains a
+    full triangle, and cross-player detection paths carry the entire
+    burden.  Protocols may lose completeness under this split (the
+    planted structure hides in one view) but must stay sound — a
+    guarantee the failure-injection suite asserts.
+
+    ``focus_edges`` may list edges in either orientation; edges not in
+    the graph are rejected (a typo'd focus set silently vanishing into
+    player 0 would defang the adversary).  With ``k == 1`` every edge
+    lands on player 0 and the split degenerates to all-to-one.
+    """
+    _require_players(k)
+    focus: set[Edge] = set()
+    for u, v in focus_edges:
+        edge = canonical_edge(u, v)
+        if not graph.has_edge(*edge):
+            raise ValueError(f"focus edge {edge} is not in the graph")
+        focus.add(edge)
+    rng = random.Random(seed)
+    buckets: list[set[Edge]] = [set() for _ in range(k)]
+    for edge in graph.edges():
+        if k == 1 or edge in focus:
             buckets[0].add(edge)
         else:
             buckets[1 + rng.randrange(k - 1)].add(edge)

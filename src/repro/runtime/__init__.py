@@ -13,20 +13,31 @@ Table 1 benchmark drivers:
   (:mod:`repro.runtime.cache`);
 * :class:`SerialExecutor` / :class:`ParallelExecutor` — interchangeable
   engines, chosen by ``workers=`` or the ``REPRO_WORKERS`` env var
-  (:mod:`repro.runtime.executor`).
+  (:mod:`repro.runtime.executor`);
+* :class:`RunJournal` — durable, checksummed record of completed trials
+  for crash-safe resume (:mod:`repro.runtime.journal`);
+* :class:`RetryPolicy` — error capture, per-trial timeouts, and bounded
+  retry-with-backoff for the supervised execution paths
+  (:mod:`repro.runtime.executor`);
+* :class:`FaultPlan` — deterministic runtime fault injection, the seam
+  every recovery path is tested through (:mod:`repro.runtime.faults`).
 """
 
 from repro.runtime.cache import InstanceCache
 from repro.runtime.executor import (
     Executor,
     ParallelExecutor,
+    RetryPolicy,
     SerialExecutor,
     TrialTask,
+    TrialTimeout,
     default_executor,
     resolve_workers,
     run_trials,
     shared_cache,
 )
+from repro.runtime.faults import Fault, FaultPlan, InjectedFault
+from repro.runtime.journal import JournalError, RunJournal, spec_key
 from repro.runtime.seeding import derive_seed
 from repro.runtime.spec import (
     TrialBatch,
@@ -52,4 +63,12 @@ __all__ = [
     "resolve_workers",
     "run_trials",
     "shared_cache",
+    "RunJournal",
+    "JournalError",
+    "spec_key",
+    "RetryPolicy",
+    "TrialTimeout",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
 ]

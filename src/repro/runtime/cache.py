@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -35,6 +36,8 @@ from pathlib import Path
 from typing import Any, Callable, Hashable
 
 __all__ = ["InstanceCache", "canonical_key_bytes"]
+
+_LOGGER = logging.getLogger(__name__)
 
 
 def canonical_key_bytes(key: Any) -> bytes:
@@ -117,6 +120,7 @@ class InstanceCache:
         self.misses = 0
         self.builds = 0
         self.build_seconds = 0.0
+        self.quarantined = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -136,11 +140,27 @@ class InstanceCache:
             return self._entries[key]
         path = self._disk_path(key)
         if path is not None and path.exists():
-            with path.open("rb") as handle:
-                value = pickle.load(handle)
-            self.hits += 1
-            self._store_memory(key, value)
-            return value
+            try:
+                with path.open("rb") as handle:
+                    value = pickle.load(handle)
+            except Exception as error:
+                # A torn write from a killed worker, disk corruption, or
+                # a stale incompatible pickle must not take the sweep
+                # down — quarantine the file (keeping it for post-mortem)
+                # and rebuild the instance as a plain miss.
+                quarantine = path.with_suffix(".corrupt")
+                with contextlib.suppress(OSError):
+                    os.replace(path, quarantine)
+                self.quarantined += 1
+                _LOGGER.warning(
+                    "instance cache entry %s is corrupt (%s: %s); "
+                    "quarantined to %s and rebuilding",
+                    path, type(error).__name__, error, quarantine,
+                )
+            else:
+                self.hits += 1
+                self._store_memory(key, value)
+                return value
         self.misses += 1
         start = time.perf_counter()
         value = builder()
@@ -183,6 +203,7 @@ class InstanceCache:
             "entries": len(self._entries),
             "builds": self.builds,
             "build_seconds": self.build_seconds,
+            "quarantined": self.quarantined,
         }
 
     def clear(self) -> None:
@@ -191,3 +212,4 @@ class InstanceCache:
         self.misses = 0
         self.builds = 0
         self.build_seconds = 0.0
+        self.quarantined = 0

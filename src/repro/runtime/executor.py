@@ -34,6 +34,28 @@ cache-fetches) each distinct instance once per batch and reuses it
 across the repetition axis.  Parallel sharding is by whole batch, so
 instance reuse never crosses a process boundary and the records stay
 byte-identical to per-trial execution in either engine.
+
+The **supervised** path (engaged whenever ``run_trials`` is given a
+``retry=``, ``journal=``, ``resume=``, or ``fault_plan=``) adds the
+fault-tolerance layer:
+
+* per-trial / per-batch **error capture** — a trial that raises becomes
+  a ``status="error"`` :class:`TrialResult` instead of killing the
+  sweep;
+* a **wall-clock watchdog** (``RetryPolicy.timeout``) per unit of work
+  — a hung trial times out instead of stalling the sweep forever (in
+  parallel mode the hung worker's pool is killed and rebuilt, because a
+  running pool worker cannot be cancelled);
+* **bounded deterministic retry-with-backoff** — failed units are
+  re-run up to ``RetryPolicy.max_attempts`` times with a fixed
+  (jitter-free) backoff schedule; because trials are pure functions of
+  their specs, retries can change wall-clock but never records;
+* **pool rebuild** on ``BrokenProcessPool`` (a worker died), with
+  graceful **degradation to serial** execution once
+  ``RetryPolicy.max_pool_rebuilds`` is exhausted;
+* incremental **journaling**: each completed unit's ok-results are
+  durably appended to the :class:`~repro.runtime.journal.RunJournal`
+  the moment they exist, so a crash loses at most the in-flight unit.
 """
 
 from __future__ import annotations
@@ -41,21 +63,33 @@ from __future__ import annotations
 import abc
 import contextlib
 import inspect
+import logging
 import math
 import multiprocessing
 import os
 import pickle
 import tempfile
+import threading
+import time
 from collections import deque
+from concurrent.futures import BrokenExecutor
 from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
-from typing import Callable, Iterable, Iterator, Sequence
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.comm.randomness import SharedRandomness
 from repro.runtime.cache import InstanceCache
+from repro.runtime.journal import RunJournal
 from repro.runtime.spec import TrialBatch, TrialResult, TrialSpec, batch_specs
+
+if TYPE_CHECKING:  # circular-import-free type-only reference
+    from repro.runtime.faults import FaultPlan
 
 __all__ = [
     "TrialTask",
+    "RetryPolicy",
+    "TrialTimeout",
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
@@ -64,6 +98,53 @@ __all__ = [
     "run_trials",
     "shared_cache",
 ]
+
+_LOGGER = logging.getLogger(__name__)
+
+
+class TrialTimeout(RuntimeError):
+    """A supervised unit of work exceeded its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervised executors respond to failure.
+
+    ``max_attempts`` bounds runs per unit of work (a trial, or a whole
+    batch in batched mode); ``backoff_base * backoff_factor**i`` seconds
+    separate attempt ``i`` from attempt ``i+1`` — a fixed, jitter-free
+    schedule, so failure handling is as deterministic as the trials
+    themselves.  ``timeout`` (seconds per attempt, ``None`` = no
+    watchdog) is the hang guard; in parallel mode a timeout kills and
+    rebuilds the pool, and after ``max_pool_rebuilds`` rebuilds the
+    remaining work degrades to in-process serial execution.  ``sleep``
+    is injectable so tests can run the schedule without waiting it out.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    timeout: float | None = None
+    max_pool_rebuilds: int = 3
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be positive, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 0:
+            raise ValueError("backoff terms must be non-negative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before re-running after attempt ``attempt``."""
+        return self.backoff_base * self.backoff_factor ** attempt
 
 #: Any callable mapping an ``EdgePartition``-like instance and a seed to an
 #: object exposing ``total_bits`` and ``found`` (e.g. ``DetectionResult``).
@@ -93,17 +174,23 @@ class TrialTask:
     metrics:
         Optional ``(spec, instance, outcome) -> dict`` hook whose result
         lands in ``TrialResult.extras`` (picklable primitives only).
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan` consulted on
+        the *supervised* execution paths only — the deterministic
+        fault-injection seam the recovery machinery is tested through.
     """
 
     def __init__(self, instance_fn: InstanceFn, protocol: ProtocolFn, *,
                  cache: InstanceCache | None = None,
                  instance_key: str | None = None,
-                 metrics: MetricsFn | None = None) -> None:
+                 metrics: MetricsFn | None = None,
+                 fault_plan: "FaultPlan | None" = None) -> None:
         self.instance_fn = instance_fn
         self.protocol = protocol
         self.cache = cache
         self.instance_key = instance_key
         self.metrics = metrics
+        self.fault_plan = fault_plan
         try:
             parameters = inspect.signature(instance_fn).parameters
             self._pass_k = "k" in parameters
@@ -134,6 +221,37 @@ class TrialTask:
             )
         return self._build(spec)
 
+    def _run_one(self, spec: TrialSpec,
+                 stream: SharedRandomness | None,
+                 local: dict[tuple, object]) -> TrialResult:
+        """One trial against a batch-local instance map — the shared core
+        of the plain and supervised batch paths."""
+        key = self.cache_key(spec)
+        try:
+            instance = local[key]
+        except KeyError:
+            instance = local[key] = self.build_instance(spec)
+        if stream is not None:
+            outcome = self.protocol(instance, spec.seed, shared=stream)
+        else:
+            outcome = self.protocol(instance, spec.seed)
+        extras = (
+            self.metrics(spec, instance, outcome)
+            if self.metrics is not None else None
+        )
+        return TrialResult.from_outcome(
+            spec,
+            bits=outcome.total_bits,
+            found=outcome.found,
+            extras=extras,
+        )
+
+    def _batch_streams(self, batch: TrialBatch
+                       ) -> Sequence[SharedRandomness | None]:
+        if self._pass_shared:
+            return SharedRandomness.batch([spec.seed for spec in batch.specs])
+        return [None] * len(batch.specs)
+
     def __call__(self, spec: TrialSpec) -> TrialResult:
         instance = self.build_instance(spec)
         outcome = self.protocol(instance, spec.seed)
@@ -160,37 +278,51 @@ class TrialTask:
         construction — draw-for-draw identical to the stream they would
         build internally from the spec seed, so outcomes are unchanged.
         """
-        streams: Sequence[SharedRandomness | None]
-        if self._pass_shared:
-            streams = SharedRandomness.batch(
-                [spec.seed for spec in batch.specs]
-            )
-        else:
-            streams = [None] * len(batch.specs)
+        streams = self._batch_streams(batch)
+        local: dict[tuple, object] = {}
+        return [
+            self._run_one(spec, stream, local)
+            for spec, stream in zip(batch.specs, streams)
+        ]
+
+    # -- supervised entries -------------------------------------------
+    # Same computations as __call__/run_batch, but failures become
+    # structured records instead of escaping, and the fault plan gets
+    # its shot first.  Successful trials produce byte-identical results
+    # on either path.
+
+    def run_supervised(self, spec: TrialSpec, *,
+                       attempt: int = 0) -> TrialResult:
+        """One trial with fault injection and error capture."""
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.apply(spec, attempt)
+            return self(spec)
+        except Exception as error:
+            return TrialResult.from_error(spec, error)
+
+    def run_batch_supervised(self, batch: TrialBatch, *,
+                             attempt: int = 0) -> list[TrialResult]:
+        """One batch with per-trial fault injection and error capture.
+
+        A failure inside one trial (fault, instance build, protocol)
+        yields an error record for that trial only; the batch's other
+        trials still run.  A failure building the batch coin streams
+        fails the whole batch, since no trial can run without coins.
+        """
+        try:
+            streams = self._batch_streams(batch)
+        except Exception as error:
+            return [TrialResult.from_error(s, error) for s in batch.specs]
         local: dict[tuple, object] = {}
         results: list[TrialResult] = []
         for spec, stream in zip(batch.specs, streams):
-            key = self.cache_key(spec)
             try:
-                instance = local[key]
-            except KeyError:
-                instance = local[key] = self.build_instance(spec)
-            if stream is not None:
-                outcome = self.protocol(instance, spec.seed, shared=stream)
-            else:
-                outcome = self.protocol(instance, spec.seed)
-            extras = (
-                self.metrics(spec, instance, outcome)
-                if self.metrics is not None else None
-            )
-            results.append(
-                TrialResult.from_outcome(
-                    spec,
-                    bits=outcome.total_bits,
-                    found=outcome.found,
-                    extras=extras,
-                )
-            )
+                if self.fault_plan is not None:
+                    self.fault_plan.apply(spec, attempt)
+                results.append(self._run_one(spec, stream, local))
+            except Exception as error:
+                results.append(TrialResult.from_error(spec, error))
         return results
 
 
@@ -235,6 +367,27 @@ class Executor(abc.ABC):
             results.extend(task.run_batch(batch))
         return results
 
+    def run_supervised(self, task: TrialTask,
+                       units: Iterable[TrialSpec | TrialBatch], *,
+                       retry: RetryPolicy,
+                       journal: RunJournal | None = None,
+                       batch: bool = False) -> list[TrialResult]:
+        """Execute units (specs, or batches with ``batch=True``) under
+        supervision: fault injection, error capture, a wall-clock
+        watchdog, bounded retry, and incremental journaling.
+
+        The base implementation runs in-process, one unit at a time —
+        the reference semantics, and the path pool degradation falls
+        back to.  :class:`ParallelExecutor` overrides it with the
+        pool-rebuilding engine.
+        """
+        results: list[TrialResult] = []
+        for unit in units:
+            results.extend(
+                _supervise_serial_unit(task, unit, retry, journal, batch)
+            )
+        return results
+
 
 class SerialExecutor(Executor):
     """In-process execution — the reference the parallel path must match."""
@@ -262,6 +415,21 @@ def _run_active_batch(batch: TrialBatch) -> list[TrialResult]:
     return _ACTIVE_TASK.run_batch(batch)
 
 
+def _run_supervised_trial(payload: tuple[TrialSpec, int]) -> list[TrialResult]:
+    spec, attempt = payload
+    if _ACTIVE_TASK is None:
+        raise RuntimeError("no active task in worker; pool misconfigured")
+    return [_ACTIVE_TASK.run_supervised(spec, attempt=attempt)]
+
+
+def _run_supervised_batch(payload: tuple[TrialBatch, int]
+                          ) -> list[TrialResult]:
+    batch, attempt = payload
+    if _ACTIVE_TASK is None:
+        raise RuntimeError("no active task in worker; pool misconfigured")
+    return _ACTIVE_TASK.run_batch_supervised(batch, attempt=attempt)
+
+
 def _install_pickled_task(payload: bytes) -> None:
     """Spawn-worker initializer: unpickle the task into the shared slot."""
     global _ACTIVE_TASK
@@ -270,6 +438,153 @@ def _install_pickled_task(payload: bytes) -> None:
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _task_name(task: object) -> str:
+    """A human-readable task identity for degradation warnings."""
+    protocol = getattr(task, "protocol", None)
+    if protocol is None:
+        return repr(task)
+    instance_fn = getattr(task, "instance_fn", None)
+
+    def name(fn: object) -> str:
+        return getattr(fn, "__qualname__", None) or repr(fn)
+
+    return (
+        f"TrialTask(protocol={name(protocol)}, "
+        f"instance_fn={name(instance_fn)})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Supervision helpers (shared by the serial and parallel engines)
+# ----------------------------------------------------------------------
+
+def _call_with_timeout(fn: Callable[[], object],
+                       timeout: float | None) -> object:
+    """Run ``fn`` with a wall-clock budget, in-process.
+
+    With a timeout, ``fn`` runs on a daemon worker thread and a hang
+    surfaces as :class:`TrialTimeout` after ``timeout`` seconds — the
+    abandoned thread finishes (or sleeps out its injected hang) in the
+    background, and its late result is discarded.  This is the only way
+    to put a watchdog on in-process execution; parallel supervision
+    instead waits on pool futures and kills the hung worker's pool.
+    """
+    if timeout is None:
+        return fn()
+    box: dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            box["value"] = fn()
+        except BaseException as error:  # re-raised on the caller's thread
+            box["error"] = error
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise TrialTimeout(f"no result within {timeout}s")
+    if "error" in box:
+        raise box["error"]  # type: ignore[misc]
+    return box["value"]
+
+
+def _kill_pool(pool: _PoolExecutor) -> None:
+    """Forcibly tear down a pool that may contain hung or dead workers.
+
+    ``shutdown`` alone never terminates a *running* worker, so a hung
+    trial would pin its process forever; terminate the children first
+    (via the executor's process table), then release the executor's
+    resources without waiting on them.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        with contextlib.suppress(Exception):
+            process.terminate()
+    with contextlib.suppress(Exception):
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _unit_specs(unit: TrialSpec | TrialBatch,
+                batch: bool) -> list[TrialSpec]:
+    return list(unit.specs) if batch else [unit]  # type: ignore[union-attr]
+
+
+def _rebind_coordinates(unit: TrialSpec | TrialBatch, batch: bool,
+                        outcome: Sequence[TrialResult]) -> list[TrialResult]:
+    """Rebuild worker-returned records on the driver's own spec objects.
+
+    Exactly what a driver-side ``TrialResult.from_outcome`` call would
+    reference: within a grid point the specs share coordinate objects
+    (one ``d`` float per point), so the pickled byte stream of the final
+    record *list* matches serial execution no matter how the records
+    were split across futures on the way home.
+    """
+    return [
+        replace(
+            result,
+            point_index=spec.point_index, trial_index=spec.trial_index,
+            n=spec.n, d=spec.d, k=spec.k, seed=spec.seed,
+        )
+        for spec, result in zip(_unit_specs(unit, batch), outcome)
+    ]
+
+
+def _timeout_results(unit: TrialSpec | TrialBatch, batch: bool,
+                     retry: RetryPolicy) -> list[TrialResult]:
+    message = f"trial timed out after {retry.timeout}s"
+    return [
+        TrialResult.from_error(spec, message, status="timeout")
+        for spec in _unit_specs(unit, batch)
+    ]
+
+
+def _worker_lost_results(unit: TrialSpec | TrialBatch,
+                         batch: bool) -> list[TrialResult]:
+    return [
+        TrialResult.from_error(spec, "worker process died (pool broken)")
+        for spec in _unit_specs(unit, batch)
+    ]
+
+
+def _journal_unit(journal: RunJournal | None,
+                  unit: TrialSpec | TrialBatch, batch: bool,
+                  results: Sequence[TrialResult]) -> None:
+    if journal is None:
+        return
+    for spec, result in zip(_unit_specs(unit, batch), results):
+        journal.record(spec, result)
+
+
+def _attempt_serial(task: TrialTask, unit: TrialSpec | TrialBatch,
+                    attempt: int, batch: bool) -> list[TrialResult]:
+    if batch:
+        return task.run_batch_supervised(unit, attempt=attempt)
+    return [task.run_supervised(unit, attempt=attempt)]
+
+
+def _supervise_serial_unit(task: TrialTask, unit: TrialSpec | TrialBatch,
+                           retry: RetryPolicy, journal: RunJournal | None,
+                           batch: bool) -> list[TrialResult]:
+    """The in-process attempt loop: timeout, capture, backoff, retry."""
+    outcome: list[TrialResult] = []
+    for attempt in range(retry.max_attempts):
+        if attempt:
+            retry.sleep(retry.backoff(attempt - 1))
+        try:
+            outcome = _call_with_timeout(
+                lambda: _attempt_serial(task, unit, attempt, batch),
+                retry.timeout,
+            )
+        except TrialTimeout:
+            outcome = _timeout_results(unit, batch, retry)
+            continue
+        if all(result.ok for result in outcome):
+            break
+    _journal_unit(journal, unit, batch, outcome)
+    return outcome
 
 
 class ParallelExecutor(Executor):
@@ -314,6 +629,15 @@ class ParallelExecutor(Executor):
     def _resolve_start_method(self) -> str:
         if self.start_method is not None:
             return self.start_method
+        env = os.environ.get("REPRO_START_METHOD", "").strip()
+        if env:
+            available = multiprocessing.get_all_start_methods()
+            if env not in available:
+                raise ValueError(
+                    f"REPRO_START_METHOD={env!r} not available here "
+                    f"(choose from {available})"
+                )
+            return env
         return "fork" if _fork_available() else "spawn"
 
     def run_trials(self, task: Callable[[TrialSpec], TrialResult],
@@ -331,7 +655,13 @@ class ParallelExecutor(Executor):
             # tasks cannot travel that way — run them serially.
             try:
                 payload = pickle.dumps(task)
-            except Exception:
+            except Exception as error:
+                _LOGGER.warning(
+                    "%s does not pickle under start method %r (%s); "
+                    "falling back to serial execution — records are "
+                    "identical but parallelism is disabled for this run",
+                    _task_name(task), method, error,
+                )
                 return SerialExecutor().run_trials(task, spec_list)
             pool_kwargs = {
                 "initializer": _install_pickled_task,
@@ -361,7 +691,13 @@ class ParallelExecutor(Executor):
         if method != "fork":
             try:
                 payload = pickle.dumps(task)
-            except Exception:
+            except Exception as error:
+                _LOGGER.warning(
+                    "%s does not pickle under start method %r (%s); "
+                    "falling back to serial execution — records are "
+                    "identical but parallelism is disabled for this run",
+                    _task_name(task), method, error,
+                )
                 return super().run_batches(task, batch_list)
             pool_kwargs = {
                 "initializer": _install_pickled_task,
@@ -378,6 +714,172 @@ class ParallelExecutor(Executor):
                 return [result for group in nested for result in group]
         finally:
             _ACTIVE_TASK = None
+
+    def run_supervised(self, task: TrialTask,
+                       units: Iterable[TrialSpec | TrialBatch], *,
+                       retry: RetryPolicy,
+                       journal: RunJournal | None = None,
+                       batch: bool = False) -> list[TrialResult]:
+        """The pool-rebuilding supervision engine.
+
+        Work proceeds in *waves*: every unresolved unit is submitted to
+        the pool, results are collected in unit order with the
+        watchdog's per-unit budget, and failed units re-enter the next
+        wave with an incremented attempt counter (after the backoff
+        pause).  A timeout or a dead worker poisons the pool — running
+        workers cannot be cancelled — so the pool is killed and rebuilt
+        between waves, up to ``retry.max_pool_rebuilds`` times; after
+        that the remaining units degrade to the in-process serial
+        engine (where ``kill`` faults downgrade to ``raise``, and the
+        sweep still finishes with structured error records at worst).
+
+        A wave-wide ``BrokenProcessPool`` cannot be attributed to one
+        unit, so every unit still unresolved in that wave is charged an
+        attempt — this keeps the faulty unit's counter advancing (and
+        fault plans deterministic) at the price of innocent units
+        occasionally burning an attempt alongside it.
+        """
+        global _ACTIVE_TASK
+        unit_list = list(units)
+        workers = min(self.workers, len(unit_list))
+        if workers <= 1 or _ACTIVE_TASK is not None:
+            return super().run_supervised(
+                task, unit_list, retry=retry, journal=journal, batch=batch
+            )
+        method = self._resolve_start_method()
+        pool_kwargs: dict = {}
+        if method != "fork":
+            try:
+                payload = pickle.dumps(task)
+            except Exception as error:
+                _LOGGER.warning(
+                    "%s does not pickle under start method %r (%s); "
+                    "falling back to serial execution — records are "
+                    "identical but parallelism is disabled for this run",
+                    _task_name(task), method, error,
+                )
+                return super().run_supervised(
+                    task, unit_list, retry=retry, journal=journal,
+                    batch=batch,
+                )
+            pool_kwargs = {
+                "initializer": _install_pickled_task,
+                "initargs": (payload,),
+            }
+        worker_fn = _run_supervised_batch if batch else _run_supervised_trial
+        context = multiprocessing.get_context(method)
+
+        def make_pool() -> _PoolExecutor:
+            return _PoolExecutor(max_workers=workers, mp_context=context,
+                                 **pool_kwargs)
+
+        _ACTIVE_TASK = task
+        pool: _PoolExecutor | None = make_pool()
+        rebuilds = 0
+        # unit index -> attempt counter; resolved units leave the map.
+        remaining: dict[int, int] = {i: 0 for i in range(len(unit_list))}
+        results: dict[int, list[TrialResult]] = {}
+        last_outcome: dict[int, list[TrialResult]] = {}
+        try:
+            while remaining:
+                if pool is None:
+                    _LOGGER.warning(
+                        "process pool could not be revived after %d "
+                        "rebuild(s); degrading %d unit(s) to serial "
+                        "execution", rebuilds, len(remaining),
+                    )
+                    for i in sorted(remaining):
+                        results[i] = _supervise_serial_unit(
+                            task, unit_list[i], retry, journal, batch
+                        )
+                    remaining.clear()
+                    break
+                futures = {
+                    i: pool.submit(worker_fn, (unit_list[i], remaining[i]))
+                    for i in sorted(remaining)
+                }
+                break_kind: str | None = None  # None | "timeout" | "broken"
+                failed: list[int] = []
+                for i in sorted(futures):
+                    future = futures[i]
+                    if break_kind is not None and not future.done():
+                        # The pool is going down; this unit never got to
+                        # run — it re-enters the next wave at the same
+                        # attempt (except after a worker death, charged
+                        # below to keep fault counters advancing).
+                        future.cancel()
+                        if break_kind == "broken":
+                            failed.append(i)
+                            last_outcome[i] = _worker_lost_results(
+                                unit_list[i], batch
+                            )
+                        continue
+                    try:
+                        wait = None if future.done() else retry.timeout
+                        outcome = future.result(timeout=wait)
+                    except _FuturesTimeout:
+                        break_kind = break_kind or "timeout"
+                        failed.append(i)
+                        last_outcome[i] = _timeout_results(
+                            unit_list[i], batch, retry
+                        )
+                        continue
+                    except BrokenExecutor:
+                        break_kind = "broken"
+                        failed.append(i)
+                        last_outcome[i] = _worker_lost_results(
+                            unit_list[i], batch
+                        )
+                        continue
+                    except Exception as error:  # defensive: capture happens
+                        failed.append(i)       # worker-side, so this is rare
+                        last_outcome[i] = [
+                            TrialResult.from_error(spec, error)
+                            for spec in _unit_specs(unit_list[i], batch)
+                        ]
+                        continue
+                    outcome = _rebind_coordinates(unit_list[i], batch, outcome)
+                    if all(result.ok for result in outcome):
+                        results[i] = outcome
+                        _journal_unit(journal, unit_list[i], batch, outcome)
+                        del remaining[i]
+                    else:
+                        failed.append(i)
+                        last_outcome[i] = outcome
+                # Resolve or re-queue this wave's failures.
+                backoff_from = None
+                for i in failed:
+                    attempt = remaining[i]
+                    if attempt + 1 >= retry.max_attempts:
+                        results[i] = last_outcome[i]
+                        _journal_unit(
+                            journal, unit_list[i], batch, last_outcome[i]
+                        )
+                        del remaining[i]
+                    else:
+                        remaining[i] = attempt + 1
+                        backoff_from = (
+                            attempt if backoff_from is None
+                            else max(backoff_from, attempt)
+                        )
+                if break_kind is not None:
+                    _kill_pool(pool)
+                    rebuilds += 1
+                    pool = (
+                        make_pool() if rebuilds <= retry.max_pool_rebuilds
+                        else None
+                    )
+                if remaining and backoff_from is not None:
+                    retry.sleep(retry.backoff(backoff_from))
+            return [
+                result
+                for i in range(len(unit_list))
+                for result in results[i]
+            ]
+        finally:
+            _ACTIVE_TASK = None
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
 
 
 @contextlib.contextmanager
@@ -404,33 +906,13 @@ def default_executor(workers: int | None = None) -> Executor:
     return SerialExecutor() if count <= 1 else ParallelExecutor(count)
 
 
-def run_trials(protocol: ProtocolFn, instance_fn: InstanceFn,
-               specs: Sequence[TrialSpec], *,
-               workers: int | None = None,
-               executor: Executor | None = None,
-               cache: InstanceCache | None = None,
-               instance_key: str | None = None,
-               metrics: MetricsFn | None = None,
-               batch: bool = False) -> list[TrialResult]:
-    """One-call convenience: wrap the callables in a task and execute.
-
-    ``batch=True`` routes through the per-grid-point batched engine
-    (instances built once per batch, coins from one batched
-    construction); ``batch=False`` is the per-trial reference path.
-    Both return the same records in the same (input spec) order.
-    """
-    task = TrialTask(instance_fn, protocol, cache=cache,
-                     instance_key=instance_key, metrics=metrics)
-    chosen = executor if executor is not None else default_executor(workers)
-    if not batch:
-        return chosen.run_trials(task, specs)
-    spec_list = list(specs)
-    batches = batch_specs(spec_list)
-    flat = chosen.run_batches(task, batches)
+def _deal_batches(batches: Sequence[TrialBatch],
+                  flat: list[TrialResult],
+                  spec_list: Sequence[TrialSpec]) -> list[TrialResult]:
+    """Deal batch-grouped results back out in input spec order (a no-op
+    for the usual point-major spec lists)."""
     if len(batches) <= 1:
         return flat
-    # Results come back grouped by point; deal them back out in input
-    # spec order (a no-op for the usual point-major spec lists).
     queues: dict[int, deque[TrialResult]] = {}
     position = 0
     for group in batches:
@@ -439,3 +921,110 @@ def run_trials(protocol: ProtocolFn, instance_fn: InstanceFn,
         )
         position += len(group.specs)
     return [queues[spec.point_index].popleft() for spec in spec_list]
+
+
+def run_trials(protocol: ProtocolFn, instance_fn: InstanceFn,
+               specs: Sequence[TrialSpec], *,
+               workers: int | None = None,
+               executor: Executor | None = None,
+               cache: InstanceCache | None = None,
+               instance_key: str | None = None,
+               metrics: MetricsFn | None = None,
+               batch: bool = False,
+               retry: RetryPolicy | None = None,
+               journal: RunJournal | str | os.PathLike | None = None,
+               resume: bool = False,
+               fault_plan: "FaultPlan | None" = None) -> list[TrialResult]:
+    """One-call convenience: wrap the callables in a task and execute.
+
+    ``batch=True`` routes through the per-grid-point batched engine
+    (instances built once per batch, coins from one batched
+    construction); ``batch=False`` is the per-trial reference path.
+    Both return the same records in the same (input spec) order.
+
+    Fault-tolerance knobs (any of them engages the supervised engine;
+    all default off, leaving the historical paths byte-for-byte):
+
+    retry:
+        A :class:`RetryPolicy` — error capture, per-unit wall-clock
+        timeout, bounded deterministic retry-with-backoff, pool rebuild
+        on worker death, serial degradation when the pool cannot be
+        revived.
+    journal:
+        A :class:`~repro.runtime.journal.RunJournal` (or a path one is
+        opened at — and closed again — for the duration of the call).
+        Every completed ok-result is durably appended as it exists.
+    resume:
+        With a journal: specs already recorded are *not* re-run; their
+        journaled results are returned verbatim, byte-identical to what
+        an uninterrupted run would have produced.
+    fault_plan:
+        A :class:`~repro.runtime.faults.FaultPlan` injecting
+        deterministic failures (raise / hang / kill-worker) into chosen
+        trials — the CI seam that proves every recovery path above.
+    """
+    task = TrialTask(instance_fn, protocol, cache=cache,
+                     instance_key=instance_key, metrics=metrics,
+                     fault_plan=fault_plan)
+    chosen = executor if executor is not None else default_executor(workers)
+    supervised = (
+        retry is not None or journal is not None or resume
+        or fault_plan is not None
+    )
+    if not supervised:
+        if not batch:
+            return chosen.run_trials(task, specs)
+        spec_list = list(specs)
+        batches = batch_specs(spec_list)
+        return _deal_batches(
+            batches, chosen.run_batches(task, batches), spec_list
+        )
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal")
+    policy = retry if retry is not None else RetryPolicy(max_attempts=1)
+    owns_journal = journal is not None and not isinstance(journal, RunJournal)
+    journal_obj: RunJournal | None = (
+        RunJournal(journal) if owns_journal else journal  # type: ignore[arg-type]
+    )
+    spec_list = list(specs)
+    try:
+        replayed: dict[int, TrialResult] = {}
+        if resume and journal_obj is not None:
+            for index, spec in enumerate(spec_list):
+                recorded = journal_obj.get(spec)
+                if recorded is not None:
+                    # Rebuild the record on the caller's own spec
+                    # coordinate objects, exactly as a live
+                    # ``TrialResult.from_outcome`` would — this keeps
+                    # the within-point object sharing (and hence the
+                    # pickled byte stream of the whole record list)
+                    # identical to an uninterrupted run.
+                    replayed[index] = replace(
+                        recorded,
+                        point_index=spec.point_index,
+                        trial_index=spec.trial_index,
+                        n=spec.n, d=spec.d, k=spec.k, seed=spec.seed,
+                    )
+        pending_indices = [
+            i for i in range(len(spec_list)) if i not in replayed
+        ]
+        pending = [spec_list[i] for i in pending_indices]
+        if batch:
+            batches = batch_specs(pending)
+            flat = chosen.run_supervised(
+                task, batches, retry=policy, journal=journal_obj, batch=True
+            )
+            fresh = _deal_batches(batches, flat, pending)
+        else:
+            fresh = chosen.run_supervised(
+                task, pending, retry=policy, journal=journal_obj, batch=False
+            )
+        merged: list[TrialResult | None] = [None] * len(spec_list)
+        for index, result in zip(pending_indices, fresh):
+            merged[index] = result
+        for index, result in replayed.items():
+            merged[index] = result
+        return merged  # type: ignore[return-value]
+    finally:
+        if owns_journal and journal_obj is not None:
+            journal_obj.close()

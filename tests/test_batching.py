@@ -247,7 +247,8 @@ class TestBatchedCacheSemantics:
         cache.clear()
         stats = cache.stats()
         assert stats == {"hits": 0, "misses": 0, "entries": 0,
-                         "builds": 0, "build_seconds": 0.0}
+                         "builds": 0, "build_seconds": 0.0,
+                         "quarantined": 0}
 
 
 class TestMigratedTable1Loops:

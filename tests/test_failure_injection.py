@@ -16,11 +16,14 @@ from repro.core.unrestricted import (
     UnrestrictedParams,
     find_triangle_unrestricted,
 )
+import pytest
+
 from repro.graphs.generators import far_instance, gnd
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, canonical_edge
 from repro.graphs.partition import (
     EdgePartition,
     partition_by_vertex,
+    partition_concentrate_edges,
     partition_disjoint,
 )
 
@@ -187,6 +190,131 @@ class TestPromiseViolations:
         if result.found:
             a, b, c = result.triangle
             assert graph.has_edge(a, b)
+
+
+def _triangle_edges(triangles):
+    return [
+        edge
+        for a, b, c in triangles
+        for edge in ((a, b), (a, c), (b, c))
+    ]
+
+
+def concentrated_partition(n=300, d=5.0, epsilon=0.3, k=4, seed=21):
+    """Every planted-triangle edge on player 0, the rest spread thin.
+
+    The targeted adversary: no player other than 0 holds a complete
+    planted triangle, so any cross-player detection path carries the
+    entire burden.
+    """
+    instance = far_instance(n, d, epsilon, seed=seed)
+    focus = _triangle_edges(instance.planted_triangles)
+    partition = partition_concentrate_edges(
+        instance.graph, k, focus, seed=seed + 1
+    )
+    return instance, partition
+
+
+class TestAdversarialConcentration:
+    """All planted-triangle edges concentrated on one player.
+
+    The split is legal under the model (any edge distribution is), but
+    maximally hostile to protocols that rely on some player seeing a
+    whole triangle.  Missing is the permitted one-sided failure;
+    reporting a triangle that is not in the graph never is.
+    """
+
+    def test_focus_edges_land_on_player_zero(self):
+        instance, partition = concentrated_partition()
+        planted = {
+            canonical_edge(u, v)
+            for u, v in _triangle_edges(instance.planted_triangles)
+        }
+        assert planted <= partition.views[0]
+        for view in partition.views[1:]:
+            assert not planted & view
+
+    def test_no_other_player_holds_a_full_triangle(self):
+        instance, partition = concentrated_partition()
+        for view in partition.views[1:]:
+            for a, b, c in instance.planted_triangles:
+                held = {
+                    canonical_edge(*edge) in view
+                    for edge in ((a, b), (a, c), (b, c))
+                }
+                assert held != {True}
+
+    def test_sim_low_sound_under_concentration(self):
+        instance, partition = concentrated_partition()
+        result = find_triangle_sim_low(
+            partition, SimLowParams(epsilon=0.3, delta=0.2), seed=31
+        )
+        if result.found:
+            a, b, c = result.triangle
+            assert instance.graph.has_edge(a, b)
+            assert instance.graph.has_edge(a, c)
+            assert instance.graph.has_edge(b, c)
+
+    def test_sim_high_sound_under_concentration(self):
+        instance, partition = concentrated_partition(d=20.0)
+        result = find_triangle_sim_high(
+            partition, SimHighParams(epsilon=0.3, delta=0.2), seed=32
+        )
+        if result.found:
+            a, b, c = result.triangle
+            assert instance.graph.has_edge(a, b)
+            assert instance.graph.has_edge(a, c)
+            assert instance.graph.has_edge(b, c)
+
+    def test_oblivious_sound_under_concentration(self):
+        instance, partition = concentrated_partition()
+        result = find_triangle_sim_oblivious(
+            partition, ObliviousParams(epsilon=0.3, delta=0.2), seed=33
+        )
+        if result.found:
+            a, b, c = result.triangle
+            assert instance.graph.has_edge(a, b)
+            assert instance.graph.has_edge(a, c)
+            assert instance.graph.has_edge(b, c)
+
+    def test_unrestricted_sound_under_concentration(self):
+        instance, partition = concentrated_partition()
+        params = UnrestrictedParams(
+            epsilon=0.3, delta=0.2, known_average_degree=5.0,
+            samples_per_bucket=4, max_candidates=3,
+            degree_params=DegreeApproxParams(
+                alpha=2.0, experiments_override=3
+            ),
+        )
+        result = find_triangle_unrestricted(partition, params, seed=34)
+        if result.found:
+            a, b, c = result.triangle
+            assert instance.graph.has_edge(a, b)
+            assert instance.graph.has_edge(a, c)
+            assert instance.graph.has_edge(b, c)
+
+    def test_player_zero_alone_still_detects(self):
+        # Player 0 holds every planted triangle whole, so a protocol
+        # with a within-view detection path should still find one.
+        _, partition = concentrated_partition(k=3, seed=23)
+        result = find_triangle_sim_low(
+            partition, SimLowParams(epsilon=0.3, delta=0.1), seed=35
+        )
+        if result.found:
+            a, b, c = result.triangle
+            assert partition.graph.has_edge(a, b)
+
+    def test_rejects_focus_edges_outside_graph(self):
+        graph = Graph(6, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="not in the graph"):
+            partition_concentrate_edges(graph, 3, [(4, 5)], seed=1)
+
+    def test_k1_degenerates_to_all_to_one(self):
+        instance, _ = far_partition(n=60)
+        partition = partition_concentrate_edges(
+            instance.graph, 1, _triangle_edges(instance.planted_triangles),
+        )
+        assert partition.views[0] == frozenset(instance.graph.edges())
 
 
 class TestExtremePparameters:

@@ -1,0 +1,213 @@
+"""RunJournal durability contract: append, checksum, recover, resume."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.runtime.journal import JournalError, RunJournal, spec_key
+from repro.runtime.spec import TrialResult, TrialSpec
+
+
+def make_spec(point=0, trial=0, seed=101):
+    return TrialSpec(point_index=point, trial_index=trial,
+                     n=100, d=4.0, k=3, seed=seed)
+
+
+def make_result(spec, bits=12.5, found=True, extras=None):
+    return TrialResult.from_outcome(spec, bits=bits, found=found,
+                                    extras=extras)
+
+
+class TestSpecKey:
+    def test_deterministic(self):
+        assert spec_key(make_spec()) == spec_key(make_spec())
+
+    def test_every_coordinate_participates(self):
+        base = make_spec()
+        variants = [
+            make_spec(point=1),
+            make_spec(trial=1),
+            make_spec(seed=102),
+            TrialSpec(point_index=0, trial_index=0, n=101, d=4.0, k=3,
+                      seed=101),
+            TrialSpec(point_index=0, trial_index=0, n=100, d=4.5, k=3,
+                      seed=101),
+            TrialSpec(point_index=0, trial_index=0, n=100, d=4.0, k=4,
+                      seed=101),
+            TrialSpec(point_index=0, trial_index=0, n=100, d=4.0, k=3,
+                      seed=101, instance_seed=7),
+        ]
+        keys = {spec_key(v) for v in variants}
+        assert spec_key(base) not in keys
+        assert len(keys) == len(variants)
+
+
+class TestRoundTrip:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        spec = make_spec()
+        result = make_result(spec, extras={"rounds": 3, "p": 0.25})
+        with RunJournal(path) as journal:
+            journal.record(spec, result)
+            assert journal.get(spec) == result
+            assert spec in journal
+            assert len(journal) == 1
+        reloaded = RunJournal(path)
+        assert reloaded.get(spec) == result
+        assert list(reloaded.results()) == [result]
+        reloaded.close()
+
+    def test_reload_is_byte_identical(self, tmp_path):
+        # The resume contract's foundation: a journaled result pickles
+        # to the same bytes as the live one.
+        path = tmp_path / "j.jsonl"
+        spec = make_spec()
+        result = make_result(spec)
+        with RunJournal(path) as journal:
+            journal.record(spec, result)
+        reloaded = RunJournal(path)
+        assert pickle.dumps(reloaded.get(spec)) == pickle.dumps(result)
+        reloaded.close()
+
+    def test_record_is_idempotent(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        spec = make_spec()
+        result = make_result(spec)
+        with RunJournal(path) as journal:
+            journal.record(spec, result)
+            journal.record(spec, result)
+            assert len(journal) == 1
+        assert len(path.read_text().splitlines()) == 2  # header + 1 record
+
+    def test_non_ok_results_not_journaled(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        spec = make_spec()
+        with RunJournal(path) as journal:
+            journal.record(spec, TrialResult.from_error(spec, "boom"))
+            assert len(journal) == 0
+            assert journal.get(spec) is None
+
+    def test_json_unfaithful_result_rejected_loudly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        spec = make_spec()
+        bad = make_result(spec, extras={"witness": (1, 2, 3)})  # tuple
+        with RunJournal(path) as journal:
+            with pytest.raises(JournalError, match="JSON round trip"):
+                journal.record(spec, bad)
+            assert len(journal) == 0
+
+
+class TestRecovery:
+    def fill(self, path, count=3):
+        specs = [make_spec(trial=t, seed=101 + t) for t in range(count)]
+        with RunJournal(path) as journal:
+            for spec in specs:
+                journal.record(spec, make_result(spec, bits=float(spec.seed)))
+        return specs
+
+    def test_torn_tail_truncated(self, tmp_path, caplog):
+        path = tmp_path / "j.jsonl"
+        specs = self.fill(path, count=3)
+        intact = path.read_bytes()
+        # Crash mid-append: the final record is cut in half.
+        lines = intact.splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        with caplog.at_level("WARNING"):
+            journal = RunJournal(path)
+        assert len(journal) == 2
+        assert journal.get(specs[0]) is not None
+        assert journal.get(specs[2]) is None
+        assert any("truncating" in r.message for r in caplog.records)
+        # The damaged tail is gone from disk and appends work again.
+        journal.record(specs[2], make_result(specs[2], bits=103.0))
+        journal.close()
+        reloaded = RunJournal(path)
+        assert len(reloaded) == 3
+        reloaded.close()
+
+    def test_corrupt_checksum_truncates_from_there(self, tmp_path, caplog):
+        path = tmp_path / "j.jsonl"
+        specs = self.fill(path, count=3)
+        lines = path.read_text().splitlines()
+        entry = json.loads(lines[2])  # first record after the header
+        entry["result"]["bits"] = 999.0  # payload no longer matches checksum
+        lines[2] = json.dumps(entry, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with caplog.at_level("WARNING"):
+            journal = RunJournal(path)
+        # Everything from the tampered record on is distrusted.
+        assert len(journal) == 1
+        assert journal.get(specs[0]) is not None
+        assert journal.get(specs[1]) is None
+        journal.close()
+
+    def test_unterminated_valid_final_line_is_torn(self, tmp_path):
+        # A final line missing its newline would be corrupted by the
+        # next append (concatenation) even if it parses — treat as torn.
+        path = tmp_path / "j.jsonl"
+        specs = self.fill(path, count=2)
+        raw = path.read_bytes()
+        assert raw.endswith(b"\n")
+        path.write_bytes(raw[:-1])
+        journal = RunJournal(path)
+        assert len(journal) == 1
+        assert journal.get(specs[1]) is None
+        journal.close()
+
+    def test_empty_file_usable(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.touch()
+        with RunJournal(path) as journal:
+            assert len(journal) == 0
+            journal.record(make_spec(), make_result(make_spec()))
+        reloaded = RunJournal(path)
+        assert len(reloaded) == 1
+        reloaded.close()
+
+    def test_directory_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.record(make_spec(), make_result(make_spec()))
+        assert path.exists()
+
+
+class TestLabels:
+    def test_label_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal(path, label="sim-low").close()
+        with pytest.raises(JournalError, match="label"):
+            RunJournal(path, label="sim-high")
+
+    def test_label_match_accepted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        spec = make_spec()
+        with RunJournal(path, label="sim-low") as journal:
+            journal.record(spec, make_result(spec))
+        reopened = RunJournal(path, label="sim-low")
+        assert len(reopened) == 1
+        reopened.close()
+
+    def test_unlabelled_open_adopts_existing_label(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal(path, label="sim-low").close()
+        journal = RunJournal(path)
+        assert journal.label == "sim-low"
+        journal.close()
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"journal": "something-else", "label": null}\n')
+        with pytest.raises(JournalError, match="not a"):
+            RunJournal(path)
+
+
+class TestFsyncKnob:
+    def test_fsync_off_still_durable_after_close(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        spec = make_spec()
+        with RunJournal(path, fsync=False) as journal:
+            journal.record(spec, make_result(spec))
+        reloaded = RunJournal(path)
+        assert len(reloaded) == 1
+        reloaded.close()
