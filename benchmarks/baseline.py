@@ -1,0 +1,84 @@
+"""Committed-baseline regression checks for the bench harnesses.
+
+Every ``bench_*`` driver writes a ``BENCH_<name>.json`` artifact whose
+``rows`` carry a speedup (or other scalar) per (case, n) cell.  The
+committed copies of those files are the *expected* performance of the
+code as merged; ``check_baseline`` compares a fresh run against them so
+a silent perf regression fails the bench the same way a broken speedup
+floor does.
+
+The comparison is deliberately loose: CI machines, laptops and noisy
+neighbours move absolute timings a lot, so only a *relative collapse*
+of a cell below ``(1 - rel_tolerance)`` of its committed value is a
+failure.  Cells present in only one of the two runs (quick vs full
+grids) are skipped — the floor checks in each driver still gate those.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["check_baseline", "DEFAULT_REL_TOLERANCE"]
+
+#: A fresh run may fall this far below the committed value before the
+#: check fails — wide enough for machine-to-machine noise, tight enough
+#: to catch an accidental O(n)-to-O(n^2) regression (those show up as
+#: 5-100x collapses, not 40%).
+DEFAULT_REL_TOLERANCE = 0.6
+
+
+def _cell_key(row: dict, key_fields: tuple[str, ...]) -> tuple:
+    return tuple(row.get(field) for field in key_fields)
+
+
+def check_baseline(rows: list[dict], baseline_path: str | Path,
+                   key_fields: tuple[str, ...] = ("case", "n"),
+                   value_field: str = "speedup",
+                   rel_tolerance: float = DEFAULT_REL_TOLERANCE,
+                   ) -> list[str]:
+    """Compare fresh bench ``rows`` against a committed baseline JSON.
+
+    Returns failure strings (empty = within tolerance).  Call this
+    *before* the driver overwrites ``baseline_path`` with the fresh
+    results.  A missing or unreadable baseline is itself a failure —
+    the flag is only passed where a baseline is known to be committed.
+    """
+    path = Path(baseline_path)
+    if not path.exists():
+        return [f"baseline {path} does not exist"]
+    try:
+        payload = json.loads(path.read_text())
+        baseline_rows = payload["rows"]
+    except (json.JSONDecodeError, KeyError, TypeError) as error:
+        return [f"baseline {path} is unreadable: {error}"]
+
+    expected = {
+        _cell_key(row, key_fields): row[value_field]
+        for row in baseline_rows
+        if value_field in row
+    }
+    failures: list[str] = []
+    compared = 0
+    for row in rows:
+        key = _cell_key(row, key_fields)
+        if key not in expected or value_field not in row:
+            continue
+        compared += 1
+        floor = expected[key] * (1.0 - rel_tolerance)
+        if row[value_field] < floor:
+            cell = ", ".join(
+                f"{field}={value}" for field, value in zip(key_fields, key)
+            )
+            failures.append(
+                f"{value_field} regression at ({cell}): "
+                f"{row[value_field]:.2f} < {floor:.2f} "
+                f"(committed {expected[key]:.2f}, "
+                f"tolerance {rel_tolerance:.0%})"
+            )
+    if compared == 0:
+        failures.append(
+            f"no cells of {path.name} overlap the fresh run — "
+            f"baseline check compared nothing"
+        )
+    return failures

@@ -24,10 +24,11 @@ pinned-seed guarantee at the scale the packed kernel exists for.
 
 Usage::
 
-    python benchmarks/bench_graph_kernel.py                # full grids
-    python benchmarks/bench_graph_kernel.py --quick        # CI smoke
-    python benchmarks/bench_graph_kernel.py --scale-check  # + n=1e5 identity
-    python benchmarks/bench_graph_kernel.py --json PATH    # artifact path
+    python benchmarks/bench_graph_kernel.py                  # full grids
+    python benchmarks/bench_graph_kernel.py --quick          # CI smoke
+    python benchmarks/bench_graph_kernel.py --scale-check    # + n=1e5 identity
+    python benchmarks/bench_graph_kernel.py --check-baseline # vs committed
+    python benchmarks/bench_graph_kernel.py --json PATH      # artifact path
 
 Also collected by ``pytest benchmarks/`` as correctness+speedup tests
 on the smallest qualifying sizes.
@@ -41,6 +42,7 @@ import platform
 import sys
 from pathlib import Path
 
+from baseline import check_baseline
 from timing_helpers import best_of
 
 from repro.analysis.experiments import run_sweep
@@ -332,7 +334,7 @@ def main(argv: list[str]) -> int:
         if operand >= len(argv):
             print(
                 "usage: bench_graph_kernel.py [--quick] [--scale-check] "
-                "[--json PATH]"
+                "[--check-baseline] [--json PATH]"
             )
             return 2
         json_path = Path(argv[operand])
@@ -347,6 +349,18 @@ def main(argv: list[str]) -> int:
     )
     print_packed_table(packed_rows)
     failures.extend(check_packed_floor(packed_rows))
+
+    if "--check-baseline" in argv:
+        # Compare before write_json overwrites the committed copy.  Only
+        # the gated cases: find_triangle's early-exit probe finishes in
+        # ~2ms, so its ratio is all noise run to run.
+        gated_rows = [r for r in packed_rows if r["case"] in PACKED_GATED]
+        baseline_failures = check_baseline(
+            gated_rows, Path(__file__).with_name("BENCH_packed_kernel.json")
+        )
+        failures.extend(baseline_failures)
+        if not baseline_failures:
+            print("baseline check: within tolerance of committed results")
 
     scale_check = None
     if "--scale-check" in argv:

@@ -6,7 +6,7 @@ Options:
   --row ID     run a single row by id (e.g. T1-R2a, X-1, L4.5)
   --workers N  process-pool width for sweeps (0 = all cores; default:
                the REPRO_WORKERS env var, else serial)
-  --backend B  graph kernel backend (bigint, packed, auto); sets
+  --backend B  graph kernel backend (bigint, packed, csr, auto); sets
                REPRO_GRAPH_BACKEND for this run — records are
                byte-identical across backends on pinned seeds
   --journal-dir DIR  durably journal every sweep's completed trials to
@@ -56,7 +56,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="process-pool width for sweeps "
                              "(0 = all cores; default REPRO_WORKERS)")
     parser.add_argument("--backend", type=str, default=None,
-                        choices=("bigint", "packed", "auto"),
+                        choices=("bigint", "packed", "csr", "auto"),
                         help="graph kernel backend "
                              "(sets REPRO_GRAPH_BACKEND for this run)")
     parser.add_argument("--journal-dir", type=str, default=None,

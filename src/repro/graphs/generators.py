@@ -16,6 +16,8 @@ each story the paper tells:
   tripartite graph U ∪ V1 ∪ V2 with each cross-part edge present iid with
   probability gamma/sqrt(n).
 * ``bipartite_triangle_free`` — triangle-free control of a given density.
+* ``powerlaw_host`` — Chung–Lu style heavy-tailed expected-degree host,
+  the adversarial workload for degree-oblivious protocols.
 * ``embed_in_larger_graph`` — the Lemma 4.17 embedding: a dense hard core
   plus isolated vertices, lowering the average degree without changing the
   problem.
@@ -24,16 +26,34 @@ All generators take an explicit ``seed`` and are deterministic given it,
 and thread an optional ``backend=`` through to ``Graph`` — the sampled
 edge set depends only on the seed, never on the kernel, so pinned-seed
 instances are identical across backends.
+
+The heavy samplers (``gnp``/``gnd``, ``tripartite_mu``,
+``powerlaw_host``) additionally carry a ``vectorized`` knob in the
+:class:`~repro.comm.randomness.SharedRandomness` style: ``None``
+(default) takes a numpy edge-array path when the expected draw volume
+clears :data:`_VECTOR_MIN_EXPECTED`, ``False`` forces the scalar
+reference loop, ``True`` insists on numpy.  The vectorized paths
+transplant the scalar generator's exact MT19937 state
+(:func:`repro.comm.randomness._numpy_stream`) and replay the same
+recurrences as array expressions, so the sampled edge set is
+draw-for-draw identical across {scalar, vectorized} × every backend —
+the knob only trades implementations, never outputs.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 import random
 import warnings
 from dataclasses import dataclass
 
 from repro.graphs.graph import Graph
+
+try:  # vectorized generation is optional — scalar is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into CI envs
+    _np = None
 
 __all__ = [
     "gnp",
@@ -44,6 +64,7 @@ __all__ = [
     "PlantedInstance",
     "far_instance",
     "skewed_hub_graph",
+    "powerlaw_host",
     "tripartite_mu",
     "TripartiteParts",
     "mu_parts",
@@ -52,24 +73,107 @@ __all__ = [
     "embed_in_larger_graph",
 ]
 
+#: Expected scalar work (selected edges for geometric skipping, raw
+#: draws for dense Bernoulli sweeps) below which the scalar loop beats
+#: the vectorized path — the MT19937 state transplant plus array setup
+#: costs a fixed few tens of microseconds.
+_VECTOR_MIN_EXPECTED = 1024
+
+#: Uniform draws per numpy chunk on the dense Bernoulli paths; bounds
+#: peak draw-buffer memory without changing any sampled value.
+_DRAW_CHUNK = 1 << 20
+
+#: Planted-copy count at which the triangle planting loop switches to
+#: one bulk ``add_edge_arrays`` call.
+_BULK_PLANT_MIN = 512
+
+
+def _use_vectorized(vectorized: bool | None, expected_work: float) -> bool:
+    if vectorized is None:
+        return _np is not None and expected_work >= _VECTOR_MIN_EXPECTED
+    if vectorized and _np is None:  # pragma: no cover - numpy baked in
+        raise RuntimeError(
+            "vectorized generation requested but numpy is missing"
+        )
+    return bool(vectorized)
+
+
+def _transplanted_stream(rng: random.Random):
+    """A numpy RandomState continuing ``rng``'s exact MT19937 stream.
+
+    Imported lazily from the randomness module (call-time, so the
+    graphs package never imports the comm package at module load).
+    """
+    from repro.comm.randomness import _numpy_stream
+
+    return _numpy_stream(rng)
+
+
+def _gnp_edge_arrays(rng: random.Random, n: int, log_q: float,
+                     total_pairs: int, expected: int):
+    """The scalar geometric-skipping recurrence as one vectorized pass.
+
+    Chunked uniforms come from the transplanted stream; gaps and
+    cumulative pair indices are array expressions with the same
+    truncation and termination decisions as the scalar loop (a raw gap
+    at or past ``total_pairs`` clamps to a terminating step, exactly
+    where the scalar ``int()`` overshoot returns).  Unranking maps pair
+    index to (u, v) through the precomputed row-start table
+    ``S[u] = u(n-1) - u(u-1)/2`` with one ``searchsorted``.
+    """
+    stream = _transplanted_stream(rng)
+    chunks: list["_np.ndarray"] = []
+    index = -1
+    chunk = max(32, int(expected * 1.1) + 32)
+    while True:
+        raw = _np.log(
+            _np.maximum(stream.random_sample(chunk), 1e-300)
+        ) / log_q
+        steps = _np.minimum(raw, total_pairs).astype(_np.int64) + 1
+        positions = index + _np.cumsum(steps)
+        terminal = _np.nonzero(positions >= total_pairs)[0]
+        if terminal.size:
+            chunks.append(positions[: terminal[0]])
+            break
+        chunks.append(positions)
+        index = int(positions[-1])
+        chunk = 4096
+    indices = chunks[0] if len(chunks) == 1 else _np.concatenate(chunks)
+    row = _np.arange(n, dtype=_np.int64)
+    starts = row * (n - 1) - (row * (row - 1)) // 2
+    us = _np.searchsorted(starts, indices, side="right") - 1
+    vs = indices - starts[us] + us + 1
+    return us, vs
+
 
 def gnp(n: int, p: float, seed: int = 0,
-        backend: str | None = None) -> Graph:
-    """Erdős–Rényi G(n, p)."""
+        backend: str | None = None, *,
+        vectorized: bool | None = None) -> Graph:
+    """Erdős–Rényi G(n, p).
+
+    Both execution paths sample by geometric skipping over the ordered
+    upper-pair list; the vectorized one replays the identical
+    recurrence on the transplanted RNG stream, so the edge set depends
+    only on the seed (see the module docstring's contract).
+    """
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"p must be in [0,1], got {p}")
     rng = random.Random(seed)
-    graph = Graph(n, backend=backend)
     if p == 0.0 or n < 2:
-        return graph
-    # Geometric skipping over the ordered pair list for speed.
+        return Graph(n, backend=backend)
     log_q = math.log1p(-p) if p < 1.0 else None
     total_pairs = n * (n - 1) // 2
-
     if log_q is None:
-        for u in range(n):
-            graph.add_neighbors(u, ((1 << n) - 1) ^ (1 << u))
-        return graph
+        # p == 1.0: K_n via one bulk fill — the all-ones mask is built
+        # once, not rebuilt per vertex.
+        return Graph.complete(n, backend=backend)
+    expected = int(p * total_pairs)
+    if _use_vectorized(vectorized, expected):
+        us, vs = _gnp_edge_arrays(rng, n, log_q, total_pairs, expected)
+        return Graph.from_edge_arrays(
+            n, us, vs, backend=backend, expected_edges=expected
+        )
+    graph = Graph(n, backend=backend, expected_edges=expected)
     # Unranking state carried across hits: sampled indices are strictly
     # increasing, so (u, row_start, row_len) only ever move forward —
     # amortized O(1) per hit instead of O(n) re-unranking.
@@ -90,12 +194,13 @@ def gnp(n: int, p: float, seed: int = 0,
 
 
 def gnd(n: int, d: float, seed: int = 0,
-        backend: str | None = None) -> Graph:
+        backend: str | None = None, *,
+        vectorized: bool | None = None) -> Graph:
     """Random graph with expected average degree ``d``."""
     if n < 2:
         return Graph(n, backend=backend)
     p = min(1.0, d / (n - 1))
-    return gnp(n, p, seed, backend=backend)
+    return gnp(n, p, seed, backend=backend, vectorized=vectorized)
 
 
 @dataclass(frozen=True)
@@ -134,12 +239,27 @@ def planted_disjoint_triangles(n: int, num_triangles: int, seed: int = 0,
         else Graph(n, backend=backend)
     )
     planted: list[tuple[int, int, int]] = []
-    for t in range(num_triangles):
-        a, b, c = sorted(vertices[3 * t: 3 * t + 3])
-        graph.add_edge(a, b)
-        graph.add_edge(a, c)
-        graph.add_edge(b, c)
-        planted.append((a, b, c))
+    if num_triangles >= _BULK_PLANT_MIN and _np is not None:
+        # Large plants commit through one bulk edge-array insert; the
+        # per-triangle sort matches the scalar loop, so the planted
+        # tuples and the final edge set are identical either way.
+        members = _np.sort(
+            _np.array(
+                vertices[: 3 * num_triangles], dtype=_np.int64
+            ).reshape(-1, 3),
+            axis=1,
+        )
+        graph.add_edge_arrays(
+            members[:, (0, 0, 1)].ravel(), members[:, (1, 2, 2)].ravel()
+        )
+        planted = [tuple(row) for row in members.tolist()]
+    else:
+        for t in range(num_triangles):
+            a, b, c = sorted(vertices[3 * t: 3 * t + 3])
+            graph.add_edge(a, b)
+            graph.add_edge(a, c)
+            graph.add_edge(b, c)
+            planted.append((a, b, c))
     epsilon = num_triangles / max(1, graph.num_edges)
     return PlantedInstance(graph, tuple(planted), epsilon)
 
@@ -227,6 +347,79 @@ def skewed_hub_graph(n: int, num_hubs: int, vees_per_hub: int,
     return graph
 
 
+def powerlaw_host(n: int, d: float, exponent: float = 2.5, seed: int = 0,
+                  backend: str | None = None, *,
+                  vectorized: bool | None = None) -> Graph:
+    """Chung–Lu style heavy-tailed host with expected average degree ≈ d.
+
+    Vertex ``i`` carries weight ``w_i ∝ (i + 1)^(-1/(exponent - 1))`` —
+    the weight sequence whose realized degrees follow a power law with
+    tail exponent ``exponent`` (2 < exponent < 3 is the scale-free
+    regime; vertex 0 is the heaviest hub, deterministically, in the
+    ``mu_parts`` spirit of fixed layouts).  ``round(n·d/2)`` candidate
+    edges are sampled by drawing both endpoints from the
+    weight-proportional distribution (inverse CDF over the cumulative
+    weights); self-loops and duplicate pairs are dropped, so the
+    realized average degree undershoots ``d`` slightly, vanishingly so
+    as n grows.
+
+    This is the adversarial-host workload the ROADMAP asks for: a few
+    hubs concentrate most wedges, stressing the high/low split and
+    degree-oblivious protocols — and at constant ``d`` it is the
+    natural n = 10^6 sparse instance for the csr kernel.
+
+    Deterministic given ``seed``; ``backend=`` threads through; the
+    ``vectorized`` knob follows the module contract (identical edge
+    sets on both paths).
+    """
+    if n < 0:
+        raise ValueError(f"vertex count must be non-negative, got {n}")
+    if d < 0:
+        raise ValueError(f"average degree must be non-negative, got {d}")
+    if exponent <= 1.0:
+        raise ValueError(
+            f"power-law exponent must exceed 1, got {exponent}"
+        )
+    draws = int(round(n * d / 2.0))
+    if n < 2 or draws == 0:
+        return Graph(n, backend=backend)
+    alpha = 1.0 / (exponent - 1.0)
+    rng = random.Random(seed)
+    if _np is not None:
+        cum = _np.cumsum(
+            _np.arange(1, n + 1, dtype=_np.float64) ** (-alpha)
+        )
+        total = float(cum[-1])
+    else:  # pragma: no cover - numpy baked into CI envs
+        cum = []
+        running = 0.0
+        for i in range(n):
+            running += (i + 1) ** (-alpha)
+            cum.append(running)
+        total = running
+    if _use_vectorized(vectorized, 2 * draws):
+        stream = _transplanted_stream(rng)
+        targets = stream.random_sample(2 * draws) * total
+        endpoints = _np.minimum(
+            _np.searchsorted(cum, targets, side="right"), n - 1
+        )
+        us = endpoints[0::2]
+        vs = endpoints[1::2]
+        keep = us != vs
+        return Graph.from_edge_arrays(
+            n, us[keep], vs[keep], backend=backend, expected_edges=draws
+        )
+    edges: list[tuple[int, int]] = []
+    for _ in range(draws):
+        u = min(bisect.bisect_right(cum, rng.random() * total), n - 1)
+        v = min(bisect.bisect_right(cum, rng.random() * total), n - 1)
+        if u != v:
+            edges.append((u, v))
+    graph = Graph(n, backend=backend, expected_edges=draws)
+    graph.add_edges(edges)
+    return graph
+
+
 @dataclass(frozen=True)
 class TripartiteParts:
     """Vertex ranges of the three parts of a µ-distribution graph."""
@@ -250,7 +443,8 @@ def mu_parts(part_size: int) -> TripartiteParts:
 
 
 def tripartite_mu(part_size: int, gamma: float, seed: int = 0,
-                  backend: str | None = None
+                  backend: str | None = None, *,
+                  vectorized: bool | None = None
                   ) -> tuple[Graph, TripartiteParts]:
     """Sample from the lower-bound distribution µ (Section 4.2.1).
 
@@ -258,6 +452,11 @@ def tripartite_mu(part_size: int, gamma: float, seed: int = 0,
     every cross-part pair is an edge independently with probability
     ``gamma / sqrt(n)`` where ``n = 3 * part_size`` is the total vertex
     count.  The expected average degree is Θ(gamma * sqrt(n)).
+
+    Every cross-part pair costs one uniform draw in row-major order on
+    both paths — the vectorized one draws the same uniforms in chunks
+    from the transplanted stream and keeps the ``< p`` comparison, so
+    pinned seeds reproduce the exact scalar graphs.
     """
     if gamma <= 0:
         raise ValueError(f"gamma must be positive, got {gamma}")
@@ -265,12 +464,39 @@ def tripartite_mu(part_size: int, gamma: float, seed: int = 0,
     n = parts.n
     p = min(1.0, gamma / math.sqrt(n))
     rng = random.Random(seed)
-    graph = Graph(n, backend=backend)
     part_pairs = (
         (parts.u_part, parts.v1_part),
         (parts.u_part, parts.v2_part),
         (parts.v1_part, parts.v2_part),
     )
+    total_draws = 3 * part_size * part_size
+    expected_edges = int(p * total_draws)
+    if _use_vectorized(vectorized, total_draws):
+        stream = _transplanted_stream(rng)
+        us_parts: list["_np.ndarray"] = []
+        vs_parts: list["_np.ndarray"] = []
+        for part_a, part_b in part_pairs:
+            width = len(part_b)
+            if width == 0:
+                continue
+            rows_per_chunk = max(1, _DRAW_CHUNK // width)
+            for offset in range(0, len(part_a), rows_per_chunk):
+                rows = min(rows_per_chunk, len(part_a) - offset)
+                draws = stream.random_sample(rows * width)
+                hits = _np.nonzero(draws < p)[0]
+                if hits.size:
+                    us_parts.append(part_a.start + offset + hits // width)
+                    vs_parts.append(part_b.start + hits % width)
+        if us_parts:
+            us = _np.concatenate(us_parts)
+            vs = _np.concatenate(vs_parts)
+        else:
+            us = vs = _np.empty(0, dtype=_np.int64)
+        graph = Graph.from_edge_arrays(
+            n, us, vs, backend=backend, expected_edges=expected_edges
+        )
+        return graph, parts
+    graph = Graph(n, backend=backend, expected_edges=expected_edges)
     random_value = rng.random
     for part_a, part_b in part_pairs:
         for u in part_a:

@@ -70,18 +70,24 @@ class Graph:
     edges:
         Optional iterable of edges (any orientation; canonicalized).
     backend:
-        Mask-kernel name (``"bigint"``, ``"packed"``, ``"auto"``) or
-        ``None`` to defer to ``REPRO_GRAPH_BACKEND`` / the auto policy.
+        Mask-kernel name (``"bigint"``, ``"packed"``, ``"csr"``,
+        ``"auto"``) or ``None`` to defer to ``REPRO_GRAPH_BACKEND`` /
+        the auto policy.
+    expected_edges:
+        Optional density hint for the ``auto`` policy (generators pass
+        their expected edge count so large sparse hosts land on the
+        csr kernel).  Never changes the edge set, only the storage.
     """
 
     __slots__ = ("_n", "_kernel", "_edge_count")
 
     def __init__(self, n: int, edges: Iterable[Edge] = (),
-                 backend: str | None = None) -> None:
+                 backend: str | None = None,
+                 expected_edges: int | None = None) -> None:
         if n < 0:
             raise ValueError(f"vertex count must be non-negative, got {n}")
         self._n = n
-        self._kernel: MaskKernel = get_kernel(backend, n)(n)
+        self._kernel: MaskKernel = get_kernel(backend, n, expected_edges)(n)
         self._edge_count = 0
         for u, v in edges:
             self.add_edge(u, v)
@@ -171,6 +177,103 @@ class Graph:
     def from_edges(cls, n: int, edges: Iterable[Edge]) -> "Graph":
         return cls(n, edges)
 
+    @staticmethod
+    def _canonical_edge_arrays(n: int, us, vs):
+        """Validate and canonicalize numpy endpoint arrays.
+
+        Returns sorted unique (lo, hi) int64 arrays with lo < hi — the
+        contract every kernel's ``from_edge_array`` assumes.  Raises on
+        shape mismatch, out-of-range vertices, and self-loops, matching
+        the scalar :meth:`add_edge` checks.
+        """
+        import numpy as np
+
+        us = np.asarray(us, dtype=np.int64).ravel()
+        vs = np.asarray(vs, dtype=np.int64).ravel()
+        if us.shape != vs.shape:
+            raise ValueError(
+                f"endpoint arrays differ in length: {us.size} vs {vs.size}"
+            )
+        if us.size == 0:
+            return us, vs
+        if int(us.min()) < 0 or int(vs.min()) < 0 \
+                or int(us.max()) >= n or int(vs.max()) >= n:
+            raise ValueError(f"edge endpoint outside range [0, {n})")
+        if bool((us == vs).any()):
+            loop = int(us[np.argmax(us == vs)])
+            raise ValueError(f"self-loop ({loop}, {loop}) is not a valid edge")
+        lo = np.minimum(us, vs)
+        hi = np.maximum(us, vs)
+        keys = np.unique(lo * n + hi)
+        return keys // n, keys % n
+
+    @classmethod
+    def from_edge_arrays(cls, n: int, us, vs,
+                         backend: str | None = None,
+                         expected_edges: int | None = None) -> "Graph":
+        """Bulk-build a graph from numpy endpoint arrays.
+
+        The vectorized-generation entry point: endpoints may come in
+        any orientation with duplicates; they are canonicalized,
+        deduplicated, validated once, and handed to the kernel's
+        ``from_edge_array`` — O(m log m) array work instead of m
+        Python-level inserts.  The resulting graph equals
+        ``Graph(n, zip(us, vs), backend=...)`` on every backend.
+
+        ``expected_edges`` overrides the ``auto`` density hint (the
+        deduplicated count is used when omitted), letting callers keep
+        backend selection identical across scalar and vectorized paths.
+        """
+        if n < 0:
+            raise ValueError(f"vertex count must be non-negative, got {n}")
+        lo, hi = cls._canonical_edge_arrays(n, us, vs)
+        if expected_edges is None:
+            expected_edges = int(lo.size)
+        kernel_cls = get_kernel(backend, n, expected_edges)
+        maker = getattr(kernel_cls, "from_edge_array", None)
+        if maker is not None:
+            kernel = maker(n, lo, hi)
+        else:  # registered third-party kernel without the bulk seam
+            kernel = kernel_cls(n)
+            for u, v in zip(lo.tolist(), hi.tolist()):
+                kernel.set_edge(u, v)
+        return cls._wrap(n, kernel, int(lo.size))
+
+    def add_edge_arrays(self, us, vs) -> int:
+        """Bulk insert from numpy endpoint arrays; returns #new edges.
+
+        The array twin of :meth:`add_edges`, used by the planting paths
+        when the edge count is large enough that per-edge Python calls
+        dominate.  Kernels exposing ``merge_edge_array`` take it in one
+        sorted merge; others fall back to per-edge inserts.
+        """
+        lo, hi = self._canonical_edge_arrays(self._n, us, vs)
+        if lo.size == 0:
+            return 0
+        merge = getattr(self._kernel, "merge_edge_array", None)
+        if merge is not None:
+            added = int(merge(lo, hi))
+        else:
+            added = 0
+            for u, v in zip(lo.tolist(), hi.tolist()):
+                added += self._kernel.set_edge(u, v)
+        self._edge_count += added
+        return added
+
+    @classmethod
+    def complete(cls, n: int, backend: str | None = None) -> "Graph":
+        """K_n in one bulk fill: the all-ones row mask is built once
+        and each vertex's bit cleared out of it, instead of n bignum
+        rebuilds."""
+        if n < 0:
+            raise ValueError(f"vertex count must be non-negative, got {n}")
+        total = n * (n - 1) // 2
+        full = (1 << n) - 1
+        kernel = get_kernel(backend, n, total).from_rows(
+            n, (full ^ (1 << u) for u in range(n))
+        )
+        return cls._wrap(n, kernel, total)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -182,6 +285,17 @@ class Graph:
     @property
     def num_edges(self) -> int:
         return self._edge_count
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate adjacency-storage bytes of the active kernel.
+
+        Delegates to the kernel's ``memory_bytes()``; third-party
+        kernels without the seam report 0.  Surfaced per instance in
+        ``InstanceCache.stats()`` so sweep logs show memory at scale.
+        """
+        probe = getattr(self._kernel, "memory_bytes", None)
+        return int(probe()) if probe is not None else 0
 
     def has_edge(self, u: int, v: int) -> bool:
         if u == v:

@@ -2,12 +2,15 @@
 
 See :mod:`repro.graphs.kernels.base` for the :class:`MaskKernel`
 protocol and the selection policy.  ``bigint`` is always available;
-``packed`` (numpy uint64 words) registers lazily on first request.
+``packed`` (numpy uint64 words) and ``csr`` (sorted numpy index
+arrays) register lazily on first request.
 """
 
 from repro.graphs.kernels.base import (
     BACKEND_ENV_VAR,
+    CSR_AUTO_THRESHOLD,
     PACKED_AUTO_THRESHOLD,
+    SPARSE_DENSITY_WORD_FACTOR,
     MaskKernel,
     get_kernel,
     iter_bits,
@@ -29,4 +32,6 @@ __all__ = [
     "mask_of",
     "BACKEND_ENV_VAR",
     "PACKED_AUTO_THRESHOLD",
+    "CSR_AUTO_THRESHOLD",
+    "SPARSE_DENSITY_WORD_FACTOR",
 ]

@@ -6,7 +6,7 @@ keeps the semantics (validation, edge counting, canonical orientation)
 and delegates every bit of storage and bulk arithmetic to its kernel, so
 new representations plug in without touching any caller.
 
-Two kernels ship:
+Three kernels ship:
 
 * ``bigint`` (:class:`repro.graphs.kernels.bigint.BigintKernel`) — one
   arbitrary-precision Python int per vertex, the PR 2 bitset kernel.
@@ -16,7 +16,11 @@ Two kernels ship:
   ``numpy`` ``uint64`` matrix of shape ``(n, ceil(n/64))``.  Rows are
   word-addressable, which unlocks vectorized single-word bit probes
   (the wedge-scan triangle natives) that no flat bignum can offer, and
-  opens the n=10^5..10^6 host regime.
+  opens the n=10^5 host regime.
+* ``csr`` (:class:`repro.graphs.kernels.csr.CsrKernel`) — sorted numpy
+  index arrays (CSR offsets + indices), O(m) memory instead of O(n²/8).
+  The sparse-host kernel: at n = 10^6 a constant-degree host fits in
+  tens of megabytes where the packed bitmap would need ~125 GB.
 
 The *exchange format* between kernels, and between a kernel and every
 caller, is the Python-int row mask: bit ``v`` of row ``u`` is set iff
@@ -27,8 +31,13 @@ makes pinned-seed runs byte-identical across backends.
 Selection follows the same seam style as ``player_factory=`` and
 ``matcher=``: an explicit ``Graph(n, backend=...)`` argument wins, then
 the ``REPRO_GRAPH_BACKEND`` environment variable, then the ``auto``
-policy (packed above :data:`PACKED_AUTO_THRESHOLD` vertices when numpy
-is importable, bigint otherwise).
+policy.  ``auto`` is density-aware: bigint below
+:data:`PACKED_AUTO_THRESHOLD` vertices, packed above it, csr when the
+host is large *and* sparse — above :data:`CSR_AUTO_THRESHOLD`
+unconditionally (the bitmap no longer fits), or above
+:data:`PACKED_AUTO_THRESHOLD` when the caller supplies an
+``expected_edges`` hint showing m < n²/64 (the memory crossover where
+~8 bytes/edge of CSR beats n/8 bytes/row of bitmap).
 """
 
 from __future__ import annotations
@@ -50,6 +59,8 @@ __all__ = [
     "packed_available",
     "BACKEND_ENV_VAR",
     "PACKED_AUTO_THRESHOLD",
+    "CSR_AUTO_THRESHOLD",
+    "SPARSE_DENSITY_WORD_FACTOR",
 ]
 
 Edge = tuple[int, int]
@@ -65,6 +76,19 @@ BACKEND_ENV_VAR = "REPRO_GRAPH_BACKEND"
 #: a notch higher so existing small-n workloads keep their exact
 #: performance profile).
 PACKED_AUTO_THRESHOLD = 32768
+
+#: Above this vertex count ``auto`` always picks the csr kernel: the
+#: packed bitmap costs n²/8 bytes (8.6 GB at 2^18, 125 GB at 10^6),
+#: which stops being a sane default long before it stops fitting.
+CSR_AUTO_THRESHOLD = 1 << 18
+
+#: Density crossover used when ``auto`` has an ``expected_edges`` hint:
+#: csr stores an edge twice at ~8 bytes a direction while packed pays
+#: n/8 bytes per row, so the memory break-even is m = n² / 64.  Below
+#: that density (m · 64 < n²) csr wins on memory *and* its
+#: merge-intersection natives win on time, so ``auto`` picks csr for
+#: hinted hosts past :data:`PACKED_AUTO_THRESHOLD`.
+SPARSE_DENSITY_WORD_FACTOR = 64
 
 
 def iter_bits(mask: int) -> Iterator[int]:
@@ -157,6 +181,16 @@ class MaskKernel(Protocol):
         """All degrees, indexed by vertex."""
         ...
 
+    def memory_bytes(self) -> int:
+        """Approximate bytes of adjacency storage this kernel holds.
+
+        Powers :attr:`repro.graphs.graph.Graph.nbytes` and the
+        instance-memory figures in ``InstanceCache.stats()`` — a
+        bookkeeping estimate (payload arrays / bignum digits), not an
+        exact allocator measurement.
+        """
+        ...
+
     def iter_edges(self) -> Iterator[Edge]:
         """All edges in canonical orientation, ascending (u, then v)."""
         ...
@@ -191,6 +225,19 @@ class MaskKernel(Protocol):
         """
         ...
 
+    @classmethod
+    def from_edge_array(cls, n: int, us: "object", vs: "object"
+                        ) -> "MaskKernel":
+        """Bulk-build from canonical numpy edge arrays.
+
+        ``us``/``vs`` are equal-length int64 arrays with
+        ``us[i] < vs[i]``, no duplicates, vertices in range — exactly
+        what :meth:`repro.graphs.graph.Graph.from_edge_arrays` produces
+        after validation.  This is the vectorized-generation entry
+        point: O(m) array work instead of m Python-level inserts.
+        """
+        ...
+
 
 # ----------------------------------------------------------------------
 # Registry
@@ -205,12 +252,12 @@ def register_kernel(name: str, cls: type) -> None:
 
 def kernel_names() -> tuple[str, ...]:
     """Registered backend names plus the ``auto`` policy."""
-    _ensure_packed_registered()
+    _ensure_builtin_registered()
     return tuple(sorted(_REGISTRY)) + ("auto",)
 
 
 def packed_available() -> bool:
-    """True when the packed backend's numpy dependency is importable."""
+    """True when the numpy-backed kernels (packed, csr) are importable."""
     try:
         import numpy  # noqa: F401
     except ImportError:  # pragma: no cover - depends on env
@@ -218,43 +265,67 @@ def packed_available() -> bool:
     return True
 
 
-def _ensure_packed_registered() -> None:
-    # The packed kernel registers itself on import; import lazily so a
-    # numpy-less environment still gets the bigint kernel (and a
-    # pointed error only when packed is actually requested).
-    if "packed" in _REGISTRY or not packed_available():
+#: Built-in kernels that register themselves on module import; imported
+#: lazily so a numpy-less environment still gets the bigint kernel (and
+#: a pointed error only when a numpy kernel is actually requested).
+_LAZY_NUMPY_KERNELS = ("packed", "csr")
+
+
+def _ensure_builtin_registered(name: str | None = None) -> None:
+    if not packed_available():
         return
-    from repro.graphs.kernels import packed  # noqa: F401  (self-registers)
+    for lazy in _LAZY_NUMPY_KERNELS:
+        if name is not None and lazy != name:
+            continue
+        if lazy not in _REGISTRY:
+            import importlib
+
+            importlib.import_module(f"repro.graphs.kernels.{lazy}")
 
 
-def get_kernel(backend: str | None = None, n: int = 0) -> type:
+def _auto_backend(n: int, expected_edges: int | None) -> str:
+    if n < PACKED_AUTO_THRESHOLD or not packed_available():
+        return "bigint"
+    if n >= CSR_AUTO_THRESHOLD:
+        return "csr"
+    if (
+        expected_edges is not None
+        and expected_edges * SPARSE_DENSITY_WORD_FACTOR < n * n
+    ):
+        return "csr"
+    return "packed"
+
+
+def get_kernel(backend: str | None = None, n: int = 0,
+               expected_edges: int | None = None) -> type:
     """Resolve a backend name to its kernel class.
 
     Resolution order: explicit ``backend`` argument, then the
     ``REPRO_GRAPH_BACKEND`` environment variable, then ``auto``.  The
-    ``auto`` policy picks ``packed`` when ``n`` is at least
-    :data:`PACKED_AUTO_THRESHOLD` and numpy is importable, else
-    ``bigint``.
+    ``auto`` policy is density-aware: ``bigint`` below
+    :data:`PACKED_AUTO_THRESHOLD`, ``csr`` above
+    :data:`CSR_AUTO_THRESHOLD` (the bitmap regime ends there) or when an
+    ``expected_edges`` hint shows the host is sparse
+    (m · :data:`SPARSE_DENSITY_WORD_FACTOR` < n²), ``packed``
+    otherwise.  Generators pass the hint; plain ``Graph(n)``
+    construction has none and keeps the historical bigint/packed split
+    below :data:`CSR_AUTO_THRESHOLD`.
     """
     if backend is None:
         backend = os.environ.get(BACKEND_ENV_VAR) or "auto"
     if backend == "auto":
-        backend = (
-            "packed"
-            if n >= PACKED_AUTO_THRESHOLD and packed_available()
-            else "bigint"
-        )
-    if backend == "packed" and "packed" not in _REGISTRY:
+        backend = _auto_backend(n, expected_edges)
+    if backend in _LAZY_NUMPY_KERNELS and backend not in _REGISTRY:
         if not packed_available():
             raise ImportError(
-                "the 'packed' graph backend needs numpy (a core "
+                f"the {backend!r} graph backend needs numpy (a core "
                 "dependency of this package: `pip install -e .`); "
                 "use backend='bigint' in a numpy-less environment"
             )
-        _ensure_packed_registered()
+        _ensure_builtin_registered(backend)
     cls = _REGISTRY.get(backend)
     if cls is None:
-        _ensure_packed_registered()
+        _ensure_builtin_registered()
         cls = _REGISTRY.get(backend)
     if cls is None:
         raise ValueError(

@@ -16,6 +16,7 @@ both directions of the conversion seam are free here.
 
 from __future__ import annotations
 
+import sys
 from typing import Iterable, Iterator
 
 from repro.graphs.kernels.base import Edge, iter_bits, register_kernel
@@ -86,6 +87,9 @@ class BigintKernel:
     def popcounts(self) -> list[int]:
         return [row.bit_count() for row in self._rows]
 
+    def memory_bytes(self) -> int:
+        return sum(sys.getsizeof(row) for row in self._rows)
+
     def iter_edges(self) -> Iterator[Edge]:
         for u, mask in enumerate(self._rows):
             upper = mask >> (u + 1)
@@ -134,6 +138,41 @@ class BigintKernel:
             raise ValueError(
                 f"expected {n} rows, got {len(kernel._rows)}"
             )
+        return kernel
+
+    @classmethod
+    def from_edge_array(cls, n: int, us, vs) -> "BigintKernel":
+        """Bulk-build from canonical numpy edge arrays.
+
+        Edges group by endpoint after one lexsort; each vertex's row
+        is assembled once in a byte buffer (O(max_neighbour/8)) rather
+        than through per-edge bignum reallocation.  numpy is imported
+        here, not module-wide: this entry point is only reachable from
+        the vectorized generation plane, which already requires it.
+        """
+        import numpy as np
+
+        kernel = cls(n)
+        if len(us) == 0:
+            return kernel
+        src = np.concatenate([us, vs])
+        dst = np.concatenate([vs, us])
+        order = np.lexsort((dst, src))
+        src = src[order]
+        dst = dst[order]
+        boundaries = np.nonzero(np.diff(src))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [src.size]))
+        rows = kernel._rows
+        for a, b in zip(starts.tolist(), stops.tolist()):
+            neighbours = dst[a:b]
+            buf = np.zeros((int(neighbours[-1]) >> 3) + 1, dtype=np.uint8)
+            np.bitwise_or.at(
+                buf,
+                neighbours >> 3,
+                np.uint8(1) << (neighbours & 7).astype(np.uint8),
+            )
+            rows[int(src[a])] = int.from_bytes(buf.tobytes(), "little")
         return kernel
 
 

@@ -184,6 +184,9 @@ class PackedKernel:
             return []
         return _popcount(self._a).sum(axis=1, dtype=np.int64).tolist()
 
+    def memory_bytes(self) -> int:
+        return int(self._a.nbytes)
+
     def iter_edges(self) -> Iterator[Edge]:
         for u, mask in enumerate(self.rows()):
             upper = mask >> (u + 1)
@@ -241,6 +244,23 @@ class PackedKernel:
                 np.frombuffer(buf, dtype=_LE_U64)
                 .reshape(n, kernel._words)
                 .astype(np.uint64, copy=False)
+            )
+        return kernel
+
+    @classmethod
+    def from_edge_array(cls, n: int, us: np.ndarray,
+                        vs: np.ndarray) -> "PackedKernel":
+        """Bulk-build from canonical numpy edge arrays: scatter both
+        directions into the word matrix with one ``bitwise_or.at``."""
+        kernel = cls(n)
+        if us.size:
+            src = np.concatenate([us, vs])
+            dst = np.concatenate([vs, us])
+            flat = kernel._a.reshape(-1)
+            np.bitwise_or.at(
+                flat,
+                src * kernel._words + (dst >> 6),
+                np.uint64(1) << (dst & 63).astype(np.uint64),
             )
         return kernel
 

@@ -76,15 +76,38 @@ class MixedPatternInstance:
         return len(self.copies_of(pattern)) / max(1, self.graph.num_edges)
 
 
+#: Planted-edge count at which `_plant_images` switches from int-mask
+#: row inserts to one bulk edge-array call (mask rows at large n cost
+#: O(n/8) bytes each; the array path stays O(edges)).
+_BULK_PLANT_EDGES = 2048
+
+
 def _plant_images(graph: Graph, pattern: SubgraphPattern,
                   images: Sequence[tuple[int, ...]]) -> None:
-    """Commit planted copies through bulk row inserts.
+    """Commit planted copies through bulk inserts.
 
-    Every planted edge is attached from its lower endpoint; one
-    ``add_neighbors`` call per touched vertex commits the whole row
-    (symmetry and the edge count are the kernel's job).  Ascending
-    vertex order keeps the construction deterministic.
+    Small plants attach every edge from its lower endpoint with one
+    ``add_neighbors`` call per touched vertex (symmetry and the edge
+    count are the kernel's job; ascending vertex order keeps the
+    construction deterministic).  Large plants route through
+    :meth:`~repro.graphs.graph.Graph.add_edge_arrays` instead — same
+    resulting edge set, no O(n)-bit masks, which is what keeps planting
+    viable on n = 10^6 hosts.  Neither path draws randomness.
     """
+    total_edges = len(images) * len(pattern.edges)
+    if total_edges >= _BULK_PLANT_EDGES:
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy baked into CI envs
+            np = None
+        if np is not None:
+            members = np.asarray(images, dtype=np.int64)
+            src = [u for u, _ in pattern.edges]
+            dst = [v for _, v in pattern.edges]
+            graph.add_edge_arrays(
+                members[:, src].ravel(), members[:, dst].ravel()
+            )
+            return
     planted_rows: dict[int, int] = {}
     for image in images:
         for u, v in pattern.edges:

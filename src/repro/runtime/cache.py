@@ -35,9 +35,38 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Hashable
 
-__all__ = ["InstanceCache", "canonical_key_bytes"]
+__all__ = ["InstanceCache", "canonical_key_bytes", "instance_nbytes"]
 
 _LOGGER = logging.getLogger(__name__)
+
+#: Recursion cap for :func:`instance_nbytes` — instances are shallow
+#: (partition -> graph, tuples of results), deep cycles are not.
+_NBYTES_MAX_DEPTH = 4
+
+
+def instance_nbytes(value: Any, _depth: int = 0) -> int:
+    """Best-effort adjacency bytes held by a cached instance.
+
+    Recognises anything exposing an integer ``nbytes`` (``Graph``
+    delegates to its kernel's ``memory_bytes``), follows a ``graph``
+    attribute (``EdgePartition``, ``PlantedInstance``), and sums over
+    tuples/lists.  Everything else counts zero — this sizes the
+    dominant adjacency payload for sweep logs, it is not a full object
+    graph measurement.
+    """
+    if _depth >= _NBYTES_MAX_DEPTH or value is None:
+        return 0
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes
+    total = 0
+    graph = getattr(value, "graph", None)
+    if graph is not None:
+        total += instance_nbytes(graph, _depth + 1)
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            total += instance_nbytes(item, _depth + 1)
+    return total
 
 
 def canonical_key_bytes(key: Any) -> bytes:
@@ -196,6 +225,9 @@ class InstanceCache:
         bookkeeping: a miss served from the disk tier counts as a hit,
         so ``builds`` is exactly the number of times ``builder()`` ran
         and ``build_seconds`` the wall-clock it consumed.
+        ``instance_bytes`` sums :func:`instance_nbytes` over the live
+        memory tier — what sweep logs report as resident instance
+        memory at scale.
         """
         return {
             "hits": self.hits,
@@ -204,6 +236,9 @@ class InstanceCache:
             "builds": self.builds,
             "build_seconds": self.build_seconds,
             "quarantined": self.quarantined,
+            "instance_bytes": sum(
+                instance_nbytes(value) for value in self._entries.values()
+            ),
         }
 
     def clear(self) -> None:

@@ -1,0 +1,184 @@
+"""The vectorized generation plane is draw-for-draw the scalar one.
+
+The contract (module docstring of :mod:`repro.graphs.generators`): the
+``vectorized`` knob on ``gnp``/``gnd``, ``tripartite_mu`` and
+``powerlaw_host`` only trades implementations, never outputs — the
+sampled edge set is a function of the seed alone, identical across
+{scalar, vectorized} × {bigint, packed, csr}.  These tests pin that
+contract with hypothesis over seeds and word-boundary vertex counts,
+cover both sides of the ``_VECTOR_MIN_EXPECTED`` auto-dispatch
+threshold, and pin the bulk planting / K_n fill rewrites against their
+scalar twins.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, powerlaw_host
+from repro.graphs import generators as gen
+from repro.graphs.generators import (
+    _VECTOR_MIN_EXPECTED,
+    gnd,
+    gnp,
+    planted_disjoint_triangles,
+    tripartite_mu,
+)
+
+SEEDS = st.integers(min_value=0, max_value=2**16)
+# Word-boundary counts: the packed kernel's uint64 edges and the csr
+# unranking both get exercised at n ∈ {63, 64, 65, 127, 129}.
+BOUNDARY_N = st.sampled_from([5, 31, 63, 64, 65, 127, 129, 200])
+
+
+def assert_identical(scalar: Graph, vectorized: Graph) -> None:
+    assert scalar == vectorized
+    assert scalar.num_edges == vectorized.num_edges
+    assert list(scalar.edges()) == list(vectorized.edges())
+
+
+class TestGnpIdentity:
+    @given(BOUNDARY_N, st.sampled_from([0.01, 0.1, 0.35, 0.8]), SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_equals_vectorized(self, n, p, seed):
+        assert_identical(
+            gnp(n, p, seed=seed, vectorized=False),
+            gnp(n, p, seed=seed, vectorized=True),
+        )
+
+    @given(SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_identical_across_backends(self, seed):
+        reference = gnp(129, 0.2, seed=seed, vectorized=False,
+                        backend="bigint")
+        for backend in ("bigint", "packed", "csr"):
+            assert gnp(129, 0.2, seed=seed, vectorized=True,
+                       backend=backend) == reference
+
+    def test_auto_dispatch_crosses_threshold_transparently(self):
+        # Below the threshold auto takes the scalar loop; force the
+        # vectorized path and demand the same graph.
+        n_small = 40  # expected ≈ 78 < _VECTOR_MIN_EXPECTED
+        assert 0.1 * n_small * (n_small - 1) / 2 < _VECTOR_MIN_EXPECTED
+        assert_identical(
+            gnp(n_small, 0.1, seed=7),
+            gnp(n_small, 0.1, seed=7, vectorized=True),
+        )
+        # Above the threshold auto takes the vectorized path; force the
+        # scalar loop and demand the same graph.
+        n_big = 250  # expected ≈ 3112 > _VECTOR_MIN_EXPECTED
+        assert 0.1 * n_big * (n_big - 1) / 2 > _VECTOR_MIN_EXPECTED
+        assert_identical(
+            gnp(n_big, 0.1, seed=7, vectorized=False),
+            gnp(n_big, 0.1, seed=7),
+        )
+
+    def test_gnd_threads_the_knob(self):
+        assert_identical(
+            gnd(150, 6.0, seed=3, vectorized=False),
+            gnd(150, 6.0, seed=3, vectorized=True),
+        )
+
+    def test_p_one_is_complete_on_every_backend(self):
+        for backend in ("bigint", "packed", "csr"):
+            graph = gnp(65, 1.0, seed=9, backend=backend)
+            assert graph.num_edges == 65 * 64 // 2
+            assert graph == Graph.complete(65, backend="bigint")
+
+    def test_degenerate_sizes(self):
+        assert gnp(0, 0.5, vectorized=True).num_edges == 0
+        assert gnp(1, 0.5, vectorized=True).num_edges == 0
+        assert gnp(10, 0.0, vectorized=True).num_edges == 0
+
+
+class TestTripartiteMuIdentity:
+    @given(st.sampled_from([4, 21, 22, 40]),
+           st.sampled_from([0.5, 1.5, 4.0]), SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_equals_vectorized(self, part_size, gamma, seed):
+        scalar, parts_s = tripartite_mu(
+            part_size, gamma, seed=seed, vectorized=False
+        )
+        vector, parts_v = tripartite_mu(
+            part_size, gamma, seed=seed, vectorized=True
+        )
+        assert parts_s == parts_v
+        assert_identical(scalar, vector)
+
+    def test_chunked_draws_match_unchunked(self, monkeypatch):
+        # Shrink the draw chunk so one part-pair spans many chunks; the
+        # uniform stream (and hence the graph) must not notice.
+        reference, _ = tripartite_mu(30, 2.0, seed=11, vectorized=True)
+        monkeypatch.setattr(gen, "_DRAW_CHUNK", 64)
+        chunked, _ = tripartite_mu(30, 2.0, seed=11, vectorized=True)
+        assert_identical(reference, chunked)
+
+
+class TestPowerlawHostIdentity:
+    @given(BOUNDARY_N, st.sampled_from([2.0, 6.0]),
+           st.sampled_from([2.1, 2.5, 2.9]), SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_equals_vectorized(self, n, d, exponent, seed):
+        assert_identical(
+            powerlaw_host(n, d, exponent=exponent, seed=seed,
+                          vectorized=False),
+            powerlaw_host(n, d, exponent=exponent, seed=seed,
+                          vectorized=True),
+        )
+
+    @given(SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_identical_across_backends(self, seed):
+        reference = powerlaw_host(200, 4.0, seed=seed, vectorized=False)
+        for backend in ("bigint", "packed", "csr"):
+            built = powerlaw_host(200, 4.0, seed=seed, backend=backend)
+            assert built.backend == backend
+            assert built == reference
+
+    def test_hub_zero_is_heaviest(self):
+        graph = powerlaw_host(500, 4.0, exponent=2.2, seed=1)
+        degrees = graph.degrees()
+        assert degrees[0] == max(degrees)
+        assert degrees[0] > 3 * (sum(degrees) / len(degrees))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exponent"):
+            powerlaw_host(10, 2.0, exponent=1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            powerlaw_host(-1, 2.0)
+        assert powerlaw_host(0, 2.0).n == 0
+        assert powerlaw_host(50, 0.0).num_edges == 0
+
+
+class TestBulkPlantingIdentity:
+    def test_bulk_and_scalar_plants_agree(self, monkeypatch):
+        def build():
+            return planted_disjoint_triangles(
+                400, 120, seed=13, background_degree=2.0
+            )
+
+        monkeypatch.setattr(gen, "_BULK_PLANT_MIN", 10**9)
+        scalar = build()
+        monkeypatch.setattr(gen, "_BULK_PLANT_MIN", 1)
+        bulk = build()
+        assert scalar.planted_triangles == bulk.planted_triangles
+        assert scalar.epsilon_certified == bulk.epsilon_certified
+        assert_identical(scalar.graph, bulk.graph)
+
+    def test_pattern_plant_bulk_agrees(self, monkeypatch):
+        from repro.patterns import plant as plant_module
+        from repro.patterns.catalog import FOUR_CLIQUE
+
+        def build():
+            return plant_module.planted_disjoint_subgraphs(
+                200, FOUR_CLIQUE, 30, seed=5, background_degree=1.5
+            )
+
+        monkeypatch.setattr(plant_module, "_BULK_PLANT_EDGES", 10**9)
+        scalar = build()
+        monkeypatch.setattr(plant_module, "_BULK_PLANT_EDGES", 1)
+        bulk = build()
+        assert scalar.planted_copies == bulk.planted_copies
+        assert_identical(scalar.graph, bulk.graph)
