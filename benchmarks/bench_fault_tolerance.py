@@ -42,8 +42,10 @@ import platform
 import sys
 import tempfile
 import time
-import warnings
 from pathlib import Path
+
+from baseline import check_baseline
+from timing_helpers import quiet_generator_shortfall
 
 from repro.analysis.experiments import DefaultInstanceBuilder
 from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
@@ -119,8 +121,7 @@ def _trial(n: int) -> dict:
 
 def run_grid(ns: list[int]) -> list[dict]:
     rows = []
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", RuntimeWarning)
+    with quiet_generator_shortfall():
         for n in ns:
             row = _trial(n)
             rows.append({
@@ -212,14 +213,26 @@ def main(argv: list[str]) -> int:
     if "--json" in argv:
         operand = argv.index("--json") + 1
         if operand >= len(argv):
-            print("usage: bench_fault_tolerance.py [--quick] [--json PATH]")
+            print("usage: bench_fault_tolerance.py [--quick] "
+                  "[--check-baseline] [--json PATH]")
             return 2
         json_path = Path(argv[operand])
     rows = run_grid(ns)
     print_table(rows)
+    failures = check_floor(rows)
+    if "--check-baseline" in argv:
+        # Compare before write_json overwrites the committed copy.  The
+        # gated quantity is replay speed: journal/supervision overheads
+        # hover near 1.0x and have their own absolute ceiling above.
+        baseline_failures = check_baseline(
+            rows, Path(__file__).with_name("BENCH_fault_tolerance.json"),
+            key_fields=("n",), value_field="resume_speedup",
+        )
+        failures.extend(baseline_failures)
+        if not baseline_failures:
+            print("baseline check: within tolerance of committed results")
     write_json(rows, json_path)
     print(f"wrote {json_path}")
-    failures = check_floor(rows)
     if failures:
         print("ACCEPTANCE BAR MISSED:")
         for failure in failures:

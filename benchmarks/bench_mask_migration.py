@@ -39,10 +39,10 @@ from __future__ import annotations
 import json
 import platform
 import sys
-import warnings
 from pathlib import Path
 
-from timing_helpers import best_of
+from baseline import check_baseline
+from timing_helpers import best_of, quiet_generator_shortfall
 
 from repro.analysis.table1 import far_disjoint_instance
 from repro.comm.blackboard import BlackboardRuntime
@@ -171,8 +171,7 @@ TRIALS = [
 
 def run_grid(ns: list[int], repeats: int = 5) -> list[dict]:
     rows = []
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", RuntimeWarning)
+    with quiet_generator_shortfall():
         for n in ns:
             for name, trial in TRIALS:
                 row = trial(n, repeats)
@@ -247,14 +246,27 @@ def main(argv: list[str]) -> int:
     if "--json" in argv:
         operand = argv.index("--json") + 1
         if operand >= len(argv):
-            print("usage: bench_mask_migration.py [--quick] [--json PATH]")
+            print("usage: bench_mask_migration.py [--quick] "
+                  "[--check-baseline] [--json PATH]")
             return 2
         json_path = Path(argv[operand])
     rows = run_grid(ns)
     print_table(rows)
+    failures = check_floor(rows)
+    if "--check-baseline" in argv:
+        # Compare before write_json overwrites the committed copy; only
+        # the gated layers — oneway-curve finishes in microseconds, so
+        # its ratio is all noise.
+        gated_rows = [r for r in rows if r["layer"] in GATED]
+        baseline_failures = check_baseline(
+            gated_rows, Path(__file__).with_name("BENCH_mask_migration.json"),
+            key_fields=("layer", "n"),
+        )
+        failures.extend(baseline_failures)
+        if not baseline_failures:
+            print("baseline check: within tolerance of committed results")
     write_json(rows, json_path)
     print(f"wrote {json_path}")
-    failures = check_floor(rows)
     if failures:
         print("SPEEDUP FLOOR MISSED:")
         for failure in failures:

@@ -49,6 +49,7 @@ import platform
 import sys
 from pathlib import Path
 
+from baseline import check_baseline
 from timing_helpers import best_of
 
 from repro.comm.players import make_players
@@ -288,14 +289,27 @@ def main(argv: list[str]) -> int:
     if "--json" in argv:
         operand = argv.index("--json") + 1
         if operand >= len(argv):
-            print("usage: bench_patterns.py [--quick] [--json PATH]")
+            print("usage: bench_patterns.py [--quick] "
+                  "[--check-baseline] [--json PATH]")
             return 2
         json_path = Path(argv[operand])
     rows = run_grid(ns)
     print_table(rows)
+    failures = check_floor(rows)
+    if "--check-baseline" in argv:
+        # Compare before write_json overwrites the committed copy; only
+        # the gated family — hit-path and matcher micro rows finish too
+        # fast for their ratios to be stable.
+        gated_rows = [r for r in rows if r["family"] in GATED]
+        baseline_failures = check_baseline(
+            gated_rows, Path(__file__).with_name("BENCH_patterns.json"),
+            key_fields=("family", "pattern", "n"),
+        )
+        failures.extend(baseline_failures)
+        if not baseline_failures:
+            print("baseline check: within tolerance of committed results")
     write_json(rows, json_path)
     print(f"wrote {json_path}")
-    failures = check_floor(rows)
     if failures:
         print("SPEEDUP FLOOR MISSED:")
         for failure in failures:

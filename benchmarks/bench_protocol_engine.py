@@ -33,6 +33,7 @@ import platform
 import sys
 from pathlib import Path
 
+from baseline import check_baseline
 from timing_helpers import best_of
 
 from repro.analysis.table1 import far_disjoint_instance
@@ -161,14 +162,24 @@ def main(argv: list[str]) -> int:
     if "--json" in argv:
         operand = argv.index("--json") + 1
         if operand >= len(argv):
-            print("usage: bench_protocol_engine.py [--quick] [--json PATH]")
+            print("usage: bench_protocol_engine.py [--quick] "
+                  "[--check-baseline] [--json PATH]")
             return 2
         json_path = Path(argv[operand])
     rows = run_grid(grid)
     print_table(rows)
+    failures = check_floor(rows)
+    if "--check-baseline" in argv:
+        # Compare before write_json overwrites the committed copy.
+        baseline_failures = check_baseline(
+            rows, Path(__file__).with_name("BENCH_protocol_engine.json"),
+            key_fields=("protocol", "n"),
+        )
+        failures.extend(baseline_failures)
+        if not baseline_failures:
+            print("baseline check: within tolerance of committed results")
     write_json(rows, json_path)
     print(f"wrote {json_path}")
-    failures = check_floor(rows)
     if failures:
         print("SPEEDUP FLOOR MISSED:")
         for failure in failures:

@@ -34,8 +34,10 @@ from __future__ import annotations
 import json
 import platform
 import sys
-import warnings
 from pathlib import Path
+
+from baseline import check_baseline
+from timing_helpers import quiet_generator_shortfall
 
 from repro.analysis.experiments import DefaultInstanceBuilder
 from repro.core.simultaneous_low import SimLowParams, find_triangle_sim_low
@@ -91,8 +93,7 @@ def _trial(n: int) -> dict:
 
 def run_grid(ns: list[int]) -> list[dict]:
     rows = []
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", RuntimeWarning)
+    with quiet_generator_shortfall():
         for n in ns:
             row = _trial(n)
             # Mismatches are recorded, not raised: the JSON must reflect
@@ -169,14 +170,24 @@ def main(argv: list[str]) -> int:
     if "--json" in argv:
         operand = argv.index("--json") + 1
         if operand >= len(argv):
-            print("usage: bench_trial_batching.py [--quick] [--json PATH]")
+            print("usage: bench_trial_batching.py [--quick] "
+                  "[--check-baseline] [--json PATH]")
             return 2
         json_path = Path(argv[operand])
     rows = run_grid(ns)
     print_table(rows)
+    failures = check_floor(rows)
+    if "--check-baseline" in argv:
+        # Compare before write_json overwrites the committed copy.
+        baseline_failures = check_baseline(
+            rows, Path(__file__).with_name("BENCH_trial_batching.json"),
+            key_fields=("n",),
+        )
+        failures.extend(baseline_failures)
+        if not baseline_failures:
+            print("baseline check: within tolerance of committed results")
     write_json(rows, json_path)
     print(f"wrote {json_path}")
-    failures = check_floor(rows)
     if failures:
         print("ACCEPTANCE BAR MISSED:")
         for failure in failures:

@@ -1,4 +1,4 @@
-"""Shared timing helper for the benchmark drivers.
+"""Shared helpers for the benchmark drivers.
 
 One definition of the best-of-N wall-clock measurement every
 ``bench_*`` driver uses, so methodology changes (warmup, median, ...)
@@ -10,9 +10,12 @@ resolve it: ``python benchmarks/bench_X.py`` puts ``benchmarks/`` on
 
 from __future__ import annotations
 
+import contextlib
+import logging
 import time
+import warnings
 
-__all__ = ["best_of"]
+__all__ = ["best_of", "quiet_generator_shortfall"]
 
 
 def best_of(repeats: int, fn, *args) -> tuple[float, object]:
@@ -24,3 +27,23 @@ def best_of(repeats: int, fn, *args) -> tuple[float, object]:
         result = fn(*args)
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+@contextlib.contextmanager
+def quiet_generator_shortfall():
+    """Silence ``far_instance``'s epsilon-shortfall diagnostic.
+
+    The drivers run known-shortfall constructions on purpose (the
+    planted grids max out the n//3 disjointness cap), and repeated
+    trials would repeat the message once per instance.  Covers both the
+    historical ``RuntimeWarning`` and today's logging-based warning.
+    """
+    logger = logging.getLogger("repro.graphs.generators")
+    previous = logger.level
+    logger.setLevel(logging.ERROR)
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            yield
+    finally:
+        logger.setLevel(previous)

@@ -38,6 +38,7 @@ from repro.graphs.triangles import (
     find_triangle_among,
     find_triangle_in_rows,
 )
+from repro.obs import profile as obs_profile
 from repro.patterns.catalog import SubgraphPattern
 from repro.patterns.matcher import find_copy_in_rows
 
@@ -63,7 +64,8 @@ def union_rows(messages: Iterable[Iterable[Edge]], n: int) -> list[int]:
 def rows_union_triangle_referee(messages: Iterable[Iterable[Edge]],
                                 n: int) -> Triangle | None:
     """The mask-native referee: union as rows, first ascending triangle."""
-    return find_triangle_in_rows(union_rows(messages, n))
+    with obs_profile.phase("referee"):
+        return find_triangle_in_rows(union_rows(messages, n))
 
 
 def set_union_triangle_referee(messages: Iterable[Iterable[Edge]]
@@ -89,7 +91,8 @@ def rows_union_subgraph_referee(
     ``matcher`` is the seam reference runs swap for
     :func:`repro.patterns.reference.find_copy_in_rows_reference`.
     """
-    return matcher(union_rows(messages, n), pattern)
+    with obs_profile.phase("referee"):
+        return matcher(union_rows(messages, n), pattern)
 
 
 def set_union_subgraph_referee(messages: Iterable[Iterable[Edge]],

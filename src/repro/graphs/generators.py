@@ -43,12 +43,14 @@ the knob only trades implementations, never outputs.
 from __future__ import annotations
 
 import bisect
+import logging
 import math
 import random
-import warnings
 from dataclasses import dataclass
 
 from repro.graphs.graph import Graph
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 try:  # vectorized generation is optional — scalar is always available
     import numpy as _np
@@ -88,14 +90,25 @@ _DRAW_CHUNK = 1 << 20
 _BULK_PLANT_MIN = 512
 
 
-def _use_vectorized(vectorized: bool | None, expected_work: float) -> bool:
+_LOGGER = logging.getLogger(__name__)
+
+
+def _use_vectorized(vectorized: bool | None, expected_work: float,
+                    generator: str = "") -> bool:
     if vectorized is None:
-        return _np is not None and expected_work >= _VECTOR_MIN_EXPECTED
-    if vectorized and _np is None:  # pragma: no cover - numpy baked in
+        chosen = _np is not None and expected_work >= _VECTOR_MIN_EXPECTED
+    elif vectorized and _np is None:  # pragma: no cover - numpy baked in
         raise RuntimeError(
             "vectorized generation requested but numpy is missing"
         )
-    return bool(vectorized)
+    else:
+        chosen = bool(vectorized)
+    path = "vectorized" if chosen else "scalar"
+    obs_metrics.inc(f"generator.path.{path}")
+    obs_trace.event("generator.path", generator=generator, path=path,
+                    expected_work=expected_work,
+                    forced=vectorized is not None)
+    return chosen
 
 
 def _transplanted_stream(rng: random.Random):
@@ -168,7 +181,7 @@ def gnp(n: int, p: float, seed: int = 0,
         # once, not rebuilt per vertex.
         return Graph.complete(n, backend=backend)
     expected = int(p * total_pairs)
-    if _use_vectorized(vectorized, expected):
+    if _use_vectorized(vectorized, expected, "gnp"):
         us, vs = _gnp_edge_arrays(rng, n, log_q, total_pairs, expected)
         return Graph.from_edge_arrays(
             n, us, vs, backend=backend, expected_edges=expected
@@ -276,8 +289,9 @@ def far_instance(n: int, d: float, epsilon: float, seed: int = 0,
     Vertex-disjointness caps the plantable triangles at ``n // 3``, so at
     high ``epsilon * d`` the certified farness can undershoot the request.
     That shortfall used to be silent; now any certified epsilon below
-    90% of the request emits a :class:`RuntimeWarning`, or raises
-    ``ValueError`` under ``strict=True``.
+    90% of the request logs a warning on this module's logger (mirrored
+    into the active trace as an event — see :mod:`repro.obs.trace`), or
+    raises ``ValueError`` under ``strict=True``.
     """
     if epsilon <= 0 or epsilon > 1:
         raise ValueError(f"epsilon must be in (0,1], got {epsilon}")
@@ -305,7 +319,7 @@ def far_instance(n: int, d: float, epsilon: float, seed: int = 0,
         )
         if strict:
             raise ValueError(message)
-        warnings.warn(message, RuntimeWarning, stacklevel=2)
+        _LOGGER.warning(message)
     return instance
 
 
@@ -397,7 +411,7 @@ def powerlaw_host(n: int, d: float, exponent: float = 2.5, seed: int = 0,
             running += (i + 1) ** (-alpha)
             cum.append(running)
         total = running
-    if _use_vectorized(vectorized, 2 * draws):
+    if _use_vectorized(vectorized, 2 * draws, "powerlaw_host"):
         stream = _transplanted_stream(rng)
         targets = stream.random_sample(2 * draws) * total
         endpoints = _np.minimum(
@@ -471,7 +485,7 @@ def tripartite_mu(part_size: int, gamma: float, seed: int = 0,
     )
     total_draws = 3 * part_size * part_size
     expected_edges = int(p * total_draws)
-    if _use_vectorized(vectorized, total_draws):
+    if _use_vectorized(vectorized, total_draws, "tripartite_mu"):
         stream = _transplanted_stream(rng)
         us_parts: list["_np.ndarray"] = []
         vs_parts: list["_np.ndarray"] = []

@@ -45,6 +45,9 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, runtime_checkable
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     pass
 
@@ -311,10 +314,17 @@ def get_kernel(backend: str | None = None, n: int = 0,
     construction has none and keeps the historical bigint/packed split
     below :data:`CSR_AUTO_THRESHOLD`.
     """
+    requested = backend
     if backend is None:
         backend = os.environ.get(BACKEND_ENV_VAR) or "auto"
     if backend == "auto":
         backend = _auto_backend(n, expected_edges)
+        # Auto-selections are the interesting ones to observe: they
+        # carry the inputs the density policy decided on.
+        obs_trace.event("kernel.selected", backend=backend, n=n,
+                        expected_edges=expected_edges,
+                        requested=requested)
+    obs_metrics.inc(f"kernel.select.{backend}")
     if backend in _LAZY_NUMPY_KERNELS and backend not in _REGISTRY:
         if not packed_available():
             raise ImportError(

@@ -1,0 +1,44 @@
+"""Run-level observability: trace spans, metrics, per-trial profiles.
+
+Three layers, all zero-RNG-impact and all off by default:
+
+- :mod:`repro.obs.trace` — :class:`TraceRecorder`, structured JSONL
+  span/event records with monotonic durations and parent/child ids.
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, process-local
+  counters/gauges/timing histograms with snapshot/merge so parallel
+  workers ship their numbers home.
+- :mod:`repro.obs.profile` — opt-in per-trial phase cost profiles
+  attached to ``TrialResult.extras["profile"]``.
+
+``python -m repro.obs summarize <trace.jsonl|dir>`` renders a run
+report from a recorded trace (phase breakdown, retry/fault counts,
+cache effectiveness, backend/path mix).
+"""
+
+from .metrics import (
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from .trace import (
+    TraceRecorder,
+    event,
+    get_recorder,
+    set_recorder,
+    span,
+    use_recorder,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "TraceRecorder",
+    "event",
+    "get_metrics",
+    "get_recorder",
+    "set_metrics",
+    "set_recorder",
+    "span",
+    "use_metrics",
+    "use_recorder",
+]

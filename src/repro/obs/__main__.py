@@ -1,0 +1,8 @@
+"""``python -m repro.obs summarize <trace.jsonl | dir>``."""
+
+import sys
+
+from .summarize import main
+
+if __name__ == "__main__":
+    sys.exit(main())

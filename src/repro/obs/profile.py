@@ -1,0 +1,97 @@
+"""Per-trial cost profiles: where one trial's wall clock went.
+
+A profile splits a trial into coarse phases — ``build`` (instance
+construction or cache fetch), ``stream`` (edge-stream construction),
+``protocol`` (player execution + referee), and ``referee`` (the
+referee's share, nested inside ``protocol``) — and attaches the
+per-phase seconds to ``TrialResult.extras["profile"]``.
+
+Profiles are **opt-in** (``run_sweep(profile=True)`` /
+``TrialTask(profile=True)``) precisely because they change the record:
+an extras dict with timings in it can never be byte-identical across
+runs.  Tracing and metrics stay record-invariant; the profile is the
+one observability surface that deliberately is not, so it lives behind
+its own flag.
+
+Mechanics: the executor opens a :func:`profile_scope` around each
+trial; instrumented code calls :func:`charge` (or wraps work in
+:func:`phase`) to add seconds to the innermost open scope of the
+current thread.  With no scope open and no metrics registry installed,
+:func:`phase` returns a shared null context — the instrumented path
+costs a thread-local read and a ``None`` check.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Iterator
+
+from . import metrics as _metrics
+
+__all__ = ["profile_scope", "charge", "phase", "active"]
+
+_TLS = threading.local()
+
+
+def active() -> bool:
+    """True when a profile scope is open on the calling thread."""
+    return getattr(_TLS, "acc", None) is not None
+
+
+@contextlib.contextmanager
+def profile_scope() -> Iterator[dict]:
+    """Open a fresh accumulator; yields the dict charges land in."""
+    previous = getattr(_TLS, "acc", None)
+    acc: dict[str, float] = {}
+    _TLS.acc = acc
+    try:
+        yield acc
+    finally:
+        _TLS.acc = previous
+
+
+def charge(phase_name: str, seconds: float) -> None:
+    """Add ``seconds`` to ``phase_name`` in the open scope (if any)
+    and to the ``phase.<name>`` metrics histogram (if metrics are on)."""
+    acc = getattr(_TLS, "acc", None)
+    if acc is not None:
+        acc[phase_name] = acc.get(phase_name, 0.0) + seconds
+    _metrics.observe(f"phase.{phase_name}", seconds)
+
+
+class _PhaseTimer:
+    __slots__ = ("name", "start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __enter__(self) -> "_PhaseTimer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        charge(self.name, time.perf_counter() - self.start)
+        return False
+
+
+class _NullPhase:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+def phase(name: str):
+    """Time the enclosed block into the open profile scope and the
+    metrics histograms — free when both are off."""
+    if getattr(_TLS, "acc", None) is None and _metrics.get_metrics() is None:
+        return _NULL_PHASE
+    return _PhaseTimer(name)

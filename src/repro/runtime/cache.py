@@ -35,6 +35,9 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Hashable
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
 __all__ = ["InstanceCache", "canonical_key_bytes", "instance_nbytes"]
 
 _LOGGER = logging.getLogger(__name__)
@@ -165,6 +168,7 @@ class InstanceCache:
         """Return the cached value for ``key``, building it on first use."""
         if key in self._entries:
             self.hits += 1
+            obs_metrics.inc("cache.hit")
             self._entries.move_to_end(key)
             return self._entries[key]
         path = self._disk_path(key)
@@ -181,6 +185,9 @@ class InstanceCache:
                 with contextlib.suppress(OSError):
                     os.replace(path, quarantine)
                 self.quarantined += 1
+                obs_metrics.inc("cache.quarantined")
+                obs_trace.event("cache_quarantine", path=str(path),
+                                error=type(error).__name__)
                 _LOGGER.warning(
                     "instance cache entry %s is corrupt (%s: %s); "
                     "quarantined to %s and rebuilding",
@@ -188,13 +195,20 @@ class InstanceCache:
                 )
             else:
                 self.hits += 1
+                obs_metrics.inc("cache.hit")
+                obs_metrics.inc("cache.disk_hit")
                 self._store_memory(key, value)
                 return value
         self.misses += 1
+        obs_metrics.inc("cache.miss")
         start = time.perf_counter()
         value = builder()
         self.builds += 1
-        self.build_seconds += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.build_seconds += elapsed
+        obs_metrics.inc("cache.build")
+        obs_metrics.inc("cache.build_seconds", elapsed)
+        obs_metrics.observe("cache.build_time", elapsed)
         self._store_memory(key, value)
         if path is not None:
             # Per-writer tmp file + atomic rename: concurrent builders of
@@ -221,6 +235,14 @@ class InstanceCache:
     def stats(self) -> dict:
         """Counter snapshot — the capacity signal sweeps log.
 
+        **Snapshot semantics**: the returned dict is a point-in-time
+        copy, never a live view, and the counters behind it accumulate
+        over the cache object's whole lifetime — a cache shared across
+        several sweeps reports their *combined* traffic.  For per-run
+        numbers, call :meth:`reset` at the start of the run (or diff
+        two snapshots); ``entries``/``instance_bytes`` describe current
+        occupancy and are unaffected by ``reset``.
+
         ``builds``/``build_seconds`` isolate real construction work from
         bookkeeping: a miss served from the disk tier counts as a hit,
         so ``builds`` is exactly the number of times ``builder()`` ran
@@ -241,10 +263,20 @@ class InstanceCache:
             ),
         }
 
-    def clear(self) -> None:
-        self._entries.clear()
+    def reset(self) -> None:
+        """Zero the traffic counters, keeping the cached entries.
+
+        The per-run companion to :meth:`stats`: reset at the start of a
+        sweep, and the next snapshot describes that sweep alone — while
+        the instances themselves stay warm for reuse.
+        """
         self.hits = 0
         self.misses = 0
         self.builds = 0
         self.build_seconds = 0.0
         self.quarantined = 0
+
+    def clear(self) -> None:
+        """Drop every cached entry and zero the counters."""
+        self._entries.clear()
+        self.reset()

@@ -79,6 +79,9 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.comm.randomness import SharedRandomness
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
 from repro.runtime.cache import InstanceCache
 from repro.runtime.journal import RunJournal
 from repro.runtime.spec import TrialBatch, TrialResult, TrialSpec, batch_specs
@@ -178,19 +181,26 @@ class TrialTask:
         Optional :class:`~repro.runtime.faults.FaultPlan` consulted on
         the *supervised* execution paths only — the deterministic
         fault-injection seam the recovery machinery is tested through.
+    profile:
+        When true, a per-trial phase cost profile (``build`` /
+        ``stream`` / ``protocol`` / ``referee`` seconds) is attached to
+        ``TrialResult.extras["profile"]``.  Opt-in because it changes
+        the record — see :mod:`repro.obs.profile`.
     """
 
     def __init__(self, instance_fn: InstanceFn, protocol: ProtocolFn, *,
                  cache: InstanceCache | None = None,
                  instance_key: str | None = None,
                  metrics: MetricsFn | None = None,
-                 fault_plan: "FaultPlan | None" = None) -> None:
+                 fault_plan: "FaultPlan | None" = None,
+                 profile: bool = False) -> None:
         self.instance_fn = instance_fn
         self.protocol = protocol
         self.cache = cache
         self.instance_key = instance_key
         self.metrics = metrics
         self.fault_plan = fault_plan
+        self.profile = profile
         try:
             parameters = inspect.signature(instance_fn).parameters
             self._pass_k = "k" in parameters
@@ -223,22 +233,49 @@ class TrialTask:
 
     def _run_one(self, spec: TrialSpec,
                  stream: SharedRandomness | None,
-                 local: dict[tuple, object]) -> TrialResult:
+                 local: dict[tuple, object],
+                 stream_cost: float = 0.0) -> TrialResult:
         """One trial against a batch-local instance map — the shared core
         of the plain and supervised batch paths."""
-        key = self.cache_key(spec)
-        try:
-            instance = local[key]
-        except KeyError:
-            instance = local[key] = self.build_instance(spec)
-        if stream is not None:
-            outcome = self.protocol(instance, spec.seed, shared=stream)
-        else:
-            outcome = self.protocol(instance, spec.seed)
+        if not self.profile:
+            return self._execute(spec, stream, local, None, stream_cost)
+        with obs_profile.profile_scope() as profile:
+            return self._execute(spec, stream, local, profile, stream_cost)
+
+    def _execute(self, spec: TrialSpec,
+                 stream: SharedRandomness | None,
+                 local: dict[tuple, object],
+                 profile: dict | None,
+                 stream_cost: float) -> TrialResult:
+        with obs_trace.span("trial", point=spec.point_index,
+                            trial=spec.trial_index, n=spec.n), \
+                obs_metrics.timer("trial.seconds"):
+            if stream_cost:
+                # This trial's even share of the batch's one stream
+                # construction (per-trial runs build streams inside the
+                # protocol, where the cost lands in the protocol phase).
+                obs_profile.charge("stream", stream_cost)
+            key = self.cache_key(spec)
+            try:
+                instance = local[key]
+            except KeyError:
+                with obs_trace.span("build"), obs_profile.phase("build"):
+                    instance = local[key] = self.build_instance(spec)
+            with obs_trace.span("protocol"), obs_profile.phase("protocol"):
+                if stream is not None:
+                    outcome = self.protocol(instance, spec.seed, shared=stream)
+                else:
+                    outcome = self.protocol(instance, spec.seed)
         extras = (
             self.metrics(spec, instance, outcome)
             if self.metrics is not None else None
         )
+        if profile is not None:
+            extras = dict(extras) if extras else {}
+            extras["profile"] = {
+                name: round(seconds, 9)
+                for name, seconds in sorted(profile.items())
+            }
         return TrialResult.from_outcome(
             spec,
             bits=outcome.total_bits,
@@ -253,18 +290,9 @@ class TrialTask:
         return [None] * len(batch.specs)
 
     def __call__(self, spec: TrialSpec) -> TrialResult:
-        instance = self.build_instance(spec)
-        outcome = self.protocol(instance, spec.seed)
-        extras = (
-            self.metrics(spec, instance, outcome)
-            if self.metrics is not None else None
-        )
-        return TrialResult.from_outcome(
-            spec,
-            bits=outcome.total_bits,
-            found=outcome.found,
-            extras=extras,
-        )
+        # A one-entry local map makes this exactly the batched core with
+        # nothing to coalesce, so both paths share the instrumentation.
+        return self._run_one(spec, None, {})
 
     def run_batch(self, batch: TrialBatch) -> list[TrialResult]:
         """Run one grid point's trials against batch-local instances.
@@ -278,12 +306,21 @@ class TrialTask:
         construction — draw-for-draw identical to the stream they would
         build internally from the spec seed, so outcomes are unchanged.
         """
-        streams = self._batch_streams(batch)
-        local: dict[tuple, object] = {}
-        return [
-            self._run_one(spec, stream, local)
-            for spec, stream in zip(batch.specs, streams)
-        ]
+        with obs_trace.span("batch", point=batch.point_index,
+                            trials=len(batch.specs)):
+            with obs_trace.span("streams"), \
+                    obs_metrics.timer("batch.stream_seconds"):
+                started = time.perf_counter()
+                streams = self._batch_streams(batch)
+                stream_cost = (
+                    (time.perf_counter() - started) / max(1, len(batch.specs))
+                    if self.profile else 0.0
+                )
+            local: dict[tuple, object] = {}
+            return [
+                self._run_one(spec, stream, local, stream_cost)
+                for spec, stream in zip(batch.specs, streams)
+            ]
 
     # -- supervised entries -------------------------------------------
     # Same computations as __call__/run_batch, but failures become
@@ -310,20 +347,29 @@ class TrialTask:
         trials still run.  A failure building the batch coin streams
         fails the whole batch, since no trial can run without coins.
         """
-        try:
-            streams = self._batch_streams(batch)
-        except Exception as error:
-            return [TrialResult.from_error(s, error) for s in batch.specs]
-        local: dict[tuple, object] = {}
-        results: list[TrialResult] = []
-        for spec, stream in zip(batch.specs, streams):
+        with obs_trace.span("batch", point=batch.point_index,
+                            trials=len(batch.specs), attempt=attempt):
             try:
-                if self.fault_plan is not None:
-                    self.fault_plan.apply(spec, attempt)
-                results.append(self._run_one(spec, stream, local))
+                started = time.perf_counter()
+                streams = self._batch_streams(batch)
+                stream_cost = (
+                    (time.perf_counter() - started) / max(1, len(batch.specs))
+                    if self.profile else 0.0
+                )
             except Exception as error:
-                results.append(TrialResult.from_error(spec, error))
-        return results
+                return [TrialResult.from_error(s, error) for s in batch.specs]
+            local: dict[tuple, object] = {}
+            results: list[TrialResult] = []
+            for spec, stream in zip(batch.specs, streams):
+                try:
+                    if self.fault_plan is not None:
+                        self.fault_plan.apply(spec, attempt)
+                    results.append(
+                        self._run_one(spec, stream, local, stream_cost)
+                    )
+                except Exception as error:
+                    results.append(TrialResult.from_error(spec, error))
+            return results
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -402,38 +448,73 @@ class SerialExecutor(Executor):
 # the pool initializer below.
 _ACTIVE_TASK: Callable[[TrialSpec], TrialResult] | None = None
 
+# Every worker function returns ``(payload, metrics_snapshot)``: the
+# snapshot is the worker registry's delta since its last shipment
+# (``None`` when metrics are off, so the common case adds two bytes of
+# pickle).  The driver folds the snapshots into its own registry as the
+# results come home — see repro.obs.metrics.
 
-def _run_active_task(spec: TrialSpec) -> TrialResult:
+
+def _run_active_task(spec: TrialSpec) -> tuple[TrialResult, dict | None]:
     if _ACTIVE_TASK is None:
         raise RuntimeError("no active task in worker; pool misconfigured")
-    return _ACTIVE_TASK(spec)
+    obs_metrics.worker_sync()
+    result = _ACTIVE_TASK(spec)
+    return result, obs_metrics.ship()
 
 
-def _run_active_batch(batch: TrialBatch) -> list[TrialResult]:
+def _run_active_batch(batch: TrialBatch
+                      ) -> tuple[list[TrialResult], dict | None]:
     if _ACTIVE_TASK is None:
         raise RuntimeError("no active task in worker; pool misconfigured")
-    return _ACTIVE_TASK.run_batch(batch)
+    obs_metrics.worker_sync()
+    results = _ACTIVE_TASK.run_batch(batch)
+    return results, obs_metrics.ship()
 
 
-def _run_supervised_trial(payload: tuple[TrialSpec, int]) -> list[TrialResult]:
+def _run_supervised_trial(payload: tuple[TrialSpec, int]
+                          ) -> tuple[list[TrialResult], dict | None]:
     spec, attempt = payload
     if _ACTIVE_TASK is None:
         raise RuntimeError("no active task in worker; pool misconfigured")
-    return [_ACTIVE_TASK.run_supervised(spec, attempt=attempt)]
+    obs_metrics.worker_sync()
+    results = [_ACTIVE_TASK.run_supervised(spec, attempt=attempt)]
+    return results, obs_metrics.ship()
 
 
 def _run_supervised_batch(payload: tuple[TrialBatch, int]
-                          ) -> list[TrialResult]:
+                          ) -> tuple[list[TrialResult], dict | None]:
     batch, attempt = payload
     if _ACTIVE_TASK is None:
         raise RuntimeError("no active task in worker; pool misconfigured")
-    return _ACTIVE_TASK.run_batch_supervised(batch, attempt=attempt)
+    obs_metrics.worker_sync()
+    results = _ACTIVE_TASK.run_batch_supervised(batch, attempt=attempt)
+    return results, obs_metrics.ship()
+
+
+def _spawn_payload(task: object) -> bytes:
+    """Pickle the task (plus whether metrics are on) for spawn workers."""
+    return pickle.dumps((task, obs_metrics.get_metrics() is not None))
 
 
 def _install_pickled_task(payload: bytes) -> None:
-    """Spawn-worker initializer: unpickle the task into the shared slot."""
+    """Spawn-worker initializer: unpickle the task into the shared slot.
+
+    A spawned worker imports everything fresh, so unlike a fork worker
+    it does not inherit the driver's metrics registry; when the driver
+    had one, install a fresh registry here so the worker's counts are
+    collected and shipped home all the same.
+    """
     global _ACTIVE_TASK
-    _ACTIVE_TASK = pickle.loads(payload)
+    loaded = pickle.loads(payload)
+    if (isinstance(loaded, tuple) and len(loaded) == 2
+            and isinstance(loaded[1], bool)):
+        task, metrics_on = loaded
+    else:  # pre-metrics payload shape: just the task
+        task, metrics_on = loaded, False
+    _ACTIVE_TASK = task
+    if metrics_on and obs_metrics.get_metrics() is None:
+        obs_metrics.set_metrics(obs_metrics.MetricsRegistry())
 
 
 def _fork_available() -> bool:
@@ -572,6 +653,8 @@ def _supervise_serial_unit(task: TrialTask, unit: TrialSpec | TrialBatch,
     outcome: list[TrialResult] = []
     for attempt in range(retry.max_attempts):
         if attempt:
+            obs_trace.event("retry", attempt=attempt)
+            obs_metrics.inc("retry.attempts")
             retry.sleep(retry.backoff(attempt - 1))
         try:
             outcome = _call_with_timeout(
@@ -579,6 +662,8 @@ def _supervise_serial_unit(task: TrialTask, unit: TrialSpec | TrialBatch,
                 retry.timeout,
             )
         except TrialTimeout:
+            obs_trace.event("timeout", attempt=attempt,
+                            timeout=retry.timeout)
             outcome = _timeout_results(unit, batch, retry)
             continue
         if all(result.ok for result in outcome):
@@ -654,7 +739,7 @@ class ParallelExecutor(Executor):
             # once, pickled, through the initializer.  Closure-built
             # tasks cannot travel that way — run them serially.
             try:
-                payload = pickle.dumps(task)
+                payload = _spawn_payload(task)
             except Exception as error:
                 _LOGGER.warning(
                     "%s does not pickle under start method %r (%s); "
@@ -672,10 +757,13 @@ class ParallelExecutor(Executor):
             context = multiprocessing.get_context(method)
             with _PoolExecutor(max_workers=workers,
                                mp_context=context, **pool_kwargs) as pool:
-                return list(
-                    pool.map(_run_active_task, spec_list,
-                             chunksize=self._chunk(len(spec_list)))
-                )
+                results: list[TrialResult] = []
+                for result, shipped in pool.map(
+                        _run_active_task, spec_list,
+                        chunksize=self._chunk(len(spec_list))):
+                    obs_metrics.absorb(shipped)
+                    results.append(result)
+                return results
         finally:
             _ACTIVE_TASK = None
 
@@ -690,7 +778,7 @@ class ParallelExecutor(Executor):
         pool_kwargs: dict = {}
         if method != "fork":
             try:
-                payload = pickle.dumps(task)
+                payload = _spawn_payload(task)
             except Exception as error:
                 _LOGGER.warning(
                     "%s does not pickle under start method %r (%s); "
@@ -710,8 +798,12 @@ class ParallelExecutor(Executor):
                                mp_context=context, **pool_kwargs) as pool:
                 # A batch is already a coarse unit of work (a whole grid
                 # point), so no further chunking is needed.
-                nested = pool.map(_run_active_batch, batch_list, chunksize=1)
-                return [result for group in nested for result in group]
+                results: list[TrialResult] = []
+                for group, shipped in pool.map(_run_active_batch,
+                                               batch_list, chunksize=1):
+                    obs_metrics.absorb(shipped)
+                    results.extend(group)
+                return results
         finally:
             _ACTIVE_TASK = None
 
@@ -750,7 +842,7 @@ class ParallelExecutor(Executor):
         pool_kwargs: dict = {}
         if method != "fork":
             try:
-                payload = pickle.dumps(task)
+                payload = _spawn_payload(task)
             except Exception as error:
                 _LOGGER.warning(
                     "%s does not pickle under start method %r (%s); "
@@ -788,6 +880,9 @@ class ParallelExecutor(Executor):
                         "rebuild(s); degrading %d unit(s) to serial "
                         "execution", rebuilds, len(remaining),
                     )
+                    obs_trace.event("degrade_serial", units=len(remaining),
+                                    rebuilds=rebuilds)
+                    obs_metrics.inc("pool.degrade_serial")
                     for i in sorted(remaining):
                         results[i] = _supervise_serial_unit(
                             task, unit_list[i], retry, journal, batch
@@ -816,10 +911,13 @@ class ParallelExecutor(Executor):
                         continue
                     try:
                         wait = None if future.done() else retry.timeout
-                        outcome = future.result(timeout=wait)
+                        outcome, shipped = future.result(timeout=wait)
+                        obs_metrics.absorb(shipped)
                     except _FuturesTimeout:
                         break_kind = break_kind or "timeout"
                         failed.append(i)
+                        obs_trace.event("timeout", unit=i,
+                                        timeout=retry.timeout)
                         last_outcome[i] = _timeout_results(
                             unit_list[i], batch, retry
                         )
@@ -827,6 +925,8 @@ class ParallelExecutor(Executor):
                     except BrokenExecutor:
                         break_kind = "broken"
                         failed.append(i)
+                        obs_trace.event("worker_lost", unit=i)
+                        obs_metrics.inc("pool.worker_lost")
                         last_outcome[i] = _worker_lost_results(
                             unit_list[i], batch
                         )
@@ -858,6 +958,8 @@ class ParallelExecutor(Executor):
                         del remaining[i]
                     else:
                         remaining[i] = attempt + 1
+                        obs_trace.event("retry", unit=i, attempt=attempt + 1)
+                        obs_metrics.inc("retry.attempts")
                         backoff_from = (
                             attempt if backoff_from is None
                             else max(backoff_from, attempt)
@@ -865,6 +967,9 @@ class ParallelExecutor(Executor):
                 if break_kind is not None:
                     _kill_pool(pool)
                     rebuilds += 1
+                    obs_trace.event("pool_rebuild", kind=break_kind,
+                                    rebuilds=rebuilds)
+                    obs_metrics.inc("pool.rebuilds")
                     pool = (
                         make_pool() if rebuilds <= retry.max_pool_rebuilds
                         else None
@@ -934,7 +1039,8 @@ def run_trials(protocol: ProtocolFn, instance_fn: InstanceFn,
                retry: RetryPolicy | None = None,
                journal: RunJournal | str | os.PathLike | None = None,
                resume: bool = False,
-               fault_plan: "FaultPlan | None" = None) -> list[TrialResult]:
+               fault_plan: "FaultPlan | None" = None,
+               profile: bool = False) -> list[TrialResult]:
     """One-call convenience: wrap the callables in a task and execute.
 
     ``batch=True`` routes through the per-grid-point batched engine
@@ -962,10 +1068,41 @@ def run_trials(protocol: ProtocolFn, instance_fn: InstanceFn,
         A :class:`~repro.runtime.faults.FaultPlan` injecting
         deterministic failures (raise / hang / kill-worker) into chosen
         trials — the CI seam that proves every recovery path above.
+    profile:
+        Attach a per-trial phase cost profile to
+        ``TrialResult.extras["profile"]`` (opt-in; changes the record —
+        see :mod:`repro.obs.profile`).
     """
+    with obs_trace.span("run_trials", specs=len(specs), batch=batch):
+        results = _run_trials_impl(
+            protocol, instance_fn, specs, workers=workers,
+            executor=executor, cache=cache, instance_key=instance_key,
+            metrics=metrics, batch=batch, retry=retry, journal=journal,
+            resume=resume, fault_plan=fault_plan, profile=profile,
+        )
+    registry = obs_metrics.get_metrics()
+    if registry is not None:
+        for result in results:
+            registry.inc(f"trial.{result.status}")
+    return results
+
+
+def _run_trials_impl(protocol: ProtocolFn, instance_fn: InstanceFn,
+                     specs: Sequence[TrialSpec], *,
+                     workers: int | None,
+                     executor: Executor | None,
+                     cache: InstanceCache | None,
+                     instance_key: str | None,
+                     metrics: MetricsFn | None,
+                     batch: bool,
+                     retry: RetryPolicy | None,
+                     journal: RunJournal | str | os.PathLike | None,
+                     resume: bool,
+                     fault_plan: "FaultPlan | None",
+                     profile: bool) -> list[TrialResult]:
     task = TrialTask(instance_fn, protocol, cache=cache,
                      instance_key=instance_key, metrics=metrics,
-                     fault_plan=fault_plan)
+                     fault_plan=fault_plan, profile=profile)
     chosen = executor if executor is not None else default_executor(workers)
     supervised = (
         retry is not None or journal is not None or resume
@@ -1005,6 +1142,10 @@ def run_trials(protocol: ProtocolFn, instance_fn: InstanceFn,
                         trial_index=spec.trial_index,
                         n=spec.n, d=spec.d, k=spec.k, seed=spec.seed,
                     )
+        if replayed:
+            obs_metrics.inc("journal.replayed", len(replayed))
+            obs_trace.event("resume", replayed=len(replayed),
+                            pending=len(spec_list) - len(replayed))
         pending_indices = [
             i for i in range(len(spec_list)) if i not in replayed
         ]

@@ -40,6 +40,8 @@ import sys
 from pathlib import Path
 from typing import Iterator
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.cache import canonical_key_bytes
 from repro.runtime.spec import TrialResult, TrialSpec
 
@@ -181,8 +183,14 @@ class RunJournal:
                 "(%d intact records); truncating the damaged tail",
                 self.path, valid_bytes, len(self._entries),
             )
+            obs_trace.event("journal.truncated", path=str(self.path),
+                            valid_bytes=valid_bytes,
+                            intact=len(self._entries))
+            obs_metrics.inc("journal.truncations")
             with self.path.open("r+b") as handle:
                 handle.truncate(valid_bytes)
+        if self._entries:
+            obs_metrics.inc("journal.loaded", len(self._entries))
 
     def _parse_line(self, line: bytes):
         try:
@@ -253,10 +261,13 @@ class RunJournal:
                 "sweeps need JSON-faithful extras: ints/floats/bools/"
                 f"strings/None, no tuples): {result!r}"
             )
-        self._append_line(json.dumps(
-            {"key": key, "result": payload, "checksum": _checksum(key + body)},
-            sort_keys=True,
-        ))
+        with obs_metrics.timer("journal.append_seconds"):
+            self._append_line(json.dumps(
+                {"key": key, "result": payload,
+                 "checksum": _checksum(key + body)},
+                sort_keys=True,
+            ))
+        obs_metrics.inc("journal.appends")
         self._entries[key] = result
 
     # ------------------------------------------------------------------

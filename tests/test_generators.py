@@ -1,7 +1,7 @@
 """Unit tests for workload generators (repro.graphs.generators)."""
 
+import logging
 import math
-import warnings
 
 import pytest
 
@@ -110,22 +110,23 @@ class TestFarInstance:
         with pytest.raises(ValueError):
             far_instance(100, 4.0, 1.5)
 
-    def test_epsilon_shortfall_warns(self):
+    def test_epsilon_shortfall_warns(self, caplog):
         """The n//3 vertex-disjointness cap can pull the certified
         epsilon far below the request; that must not be silent."""
-        with pytest.warns(RuntimeWarning, match="certifies only"):
+        with caplog.at_level(logging.WARNING, "repro.graphs.generators"):
             instance = far_instance(90, 12.0, 0.5, seed=3)
+        assert any("certifies only" in r.message for r in caplog.records)
         assert instance.epsilon_certified < 0.45
 
     def test_epsilon_shortfall_raises_under_strict(self):
         with pytest.raises(ValueError, match="certifies only"):
             far_instance(90, 12.0, 0.5, seed=3, strict=True)
 
-    def test_no_warning_when_request_met(self):
+    def test_no_warning_when_request_met(self, caplog):
         # eps*d/2 <= 1/3, so the n//3 triangle cap does not bind.
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
+        with caplog.at_level(logging.WARNING, "repro.graphs.generators"):
             instance = far_instance(600, 3.0, 0.2, seed=5)
+        assert not caplog.records
         assert instance.epsilon_certified >= 0.18
 
 
